@@ -1,0 +1,73 @@
+package chordal_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd drives the four command-line tools through a full
+// generate → analyze → extract → verify round trip, the workflow the
+// README documents. It is skipped when the go tool is unavailable.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	subPath := filepath.Join(dir, "sub.txt")
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(goTool, append([]string{"run"}, args...)...)
+		cmd.Dir = repoRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("./cmd/graphgen", "-kind", "rmat-g", "-scale", "9", "-seed", "5", "-out", graphPath)
+	if !strings.Contains(out, "V=512") {
+		t.Fatalf("graphgen output: %s", out)
+	}
+
+	out = run("./cmd/graphstats", "-in", graphPath, "-chordal")
+	if !strings.Contains(out, "chordal: no") {
+		t.Fatalf("graphstats should report a hole witness: %s", out)
+	}
+
+	out = run("./cmd/chordal", "-in", graphPath, "-out", subPath, "-verify", "-repair")
+	if !strings.Contains(out, "verified: output is chordal") {
+		t.Fatalf("chordal CLI output: %s", out)
+	}
+	if !strings.Contains(out, "output is maximal") {
+		t.Fatalf("repair did not reach maximality: %s", out)
+	}
+
+	out = run("./cmd/graphstats", "-in", subPath, "-chordal")
+	if !strings.Contains(out, "chordal: yes") {
+		t.Fatalf("extracted subgraph not verified chordal: %s", out)
+	}
+
+	out = run("./cmd/chordal", "-in", graphPath, "-serial")
+	if !strings.Contains(out, "Dearing") {
+		t.Fatalf("serial mode output: %s", out)
+	}
+
+	out = run("./cmd/benchrunner", "-exp", "pct", "-scales", "8", "-bio-downscale", "64")
+	if !strings.Contains(out, "RMAT-ER(8)") {
+		t.Fatalf("benchrunner output: %s", out)
+	}
+}

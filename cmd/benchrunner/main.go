@@ -1,0 +1,54 @@
+// Command benchrunner regenerates the paper's evaluation artifacts:
+// Table I, Figures 2-7, Table II and the §V chordal-edge percentages.
+//
+// Usage:
+//
+//	benchrunner -exp all
+//	benchrunner -exp fig4 -scales 14,15,16 -maxprocs 8
+//	benchrunner -exp table2 -bio-downscale 4 -trials 5
+//
+// The paper's absolute scales (2^24-2^26 vertices on a 128-processor
+// Cray XMT) exceed commodity environments; pick -scales to fit your
+// memory and time budget. EXPERIMENTS.md records the shape comparisons
+// between these outputs and the paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chordal/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	var (
+		exp    = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|"))
+		scales = flag.String("scales", "", "comma-separated R-MAT scales (default 14,15,16)")
+	)
+	flag.IntVar(&cfg.BioDownscale, "bio-downscale", cfg.BioDownscale, "bio network gene-count divisor (1 = paper size)")
+	flag.IntVar(&cfg.MaxProcs, "maxprocs", cfg.MaxProcs, "max workers in scaling sweeps (0 = GOMAXPROCS)")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.IntVar(&cfg.SmallScale, "small-scale", cfg.SmallScale, "scale for structure figures 2-3 (paper: 10)")
+	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "timing trials per measurement (fastest kept)")
+	flag.Parse()
+
+	if *scales != "" {
+		cfg.Scales = cfg.Scales[:0]
+		for _, s := range strings.Split(*scales, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 || v > 30 {
+				fmt.Fprintf(os.Stderr, "benchrunner: bad scale %q\n", s)
+				os.Exit(2)
+			}
+			cfg.Scales = append(cfg.Scales, v)
+		}
+	}
+	if err := experiments.Run(os.Stdout, *exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}

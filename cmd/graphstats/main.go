@@ -1,0 +1,89 @@
+// Command graphstats reports the structural measures the paper uses to
+// characterize its inputs (Table I, Figure 2, Figure 3): degree
+// statistics, clustering coefficients by degree, shortest-path-length
+// distribution, connected components, assortativity and k-cores.
+//
+// Usage:
+//
+//	graphstats -in graph.bin
+//	graphstats -in graph.txt -paths -clustering -sources 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chordal/internal/analysis"
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input graph path (required)")
+		clustering = flag.Bool("clustering", false, "print average clustering coefficient by degree (Figure 2)")
+		paths      = flag.Bool("paths", false, "print shortest-path-length distribution (Figure 3)")
+		sources    = flag.Int("sources", 0, "BFS sources for -paths (0 = all)")
+		cores      = flag.Bool("kcores", false, "print k-core size distribution")
+		chordality = flag.Bool("chordal", false, "test chordality; print a hole witness if not chordal")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "graphstats: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := graph.LoadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphstats:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(graph.ComputeStats(g))
+	_, comps := analysis.Components(g)
+	fmt.Printf("components: %d\n", comps)
+	fmt.Printf("degree assortativity: %+.4f\n", analysis.DegreeAssortativity(g))
+	fmt.Printf("mean clustering coefficient: %.4f\n", analysis.GlobalClusteringCoefficient(g))
+
+	if *clustering {
+		fmt.Printf("\n%10s %12s %10s\n", "degree", "avg-cc", "vertices")
+		for _, p := range analysis.ClusteringByDegree(g) {
+			fmt.Printf("%10d %12.4f %10d\n", p.Degree, p.AvgCC, p.Vertices)
+		}
+	}
+	if *paths {
+		h := analysis.ShortestPathHistogram(g, *sources)
+		fmt.Printf("\n%8s %14s\n", "length", "frequency")
+		for d := 1; d < len(h); d++ {
+			fmt.Printf("%8d %14d\n", d, h[d])
+		}
+	}
+	if *chordality {
+		if verify.IsChordal(g) {
+			fmt.Println("chordal: yes")
+		} else {
+			hole := verify.FindHole(verify.AdjFromGraph(g))
+			fmt.Printf("chordal: no (witness hole of length %d: %v)\n", len(hole), hole)
+		}
+	}
+	if *cores {
+		core := analysis.KCores(g)
+		max := int32(0)
+		for _, c := range core {
+			if c > max {
+				max = c
+			}
+		}
+		counts := make([]int, max+1)
+		for _, c := range core {
+			counts[c]++
+		}
+		fmt.Printf("\n%8s %10s\n", "core", "vertices")
+		for k, c := range counts {
+			if c > 0 {
+				fmt.Printf("%8d %10d\n", k, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package analysis computes the structural network measures the paper
+// uses to characterize its inputs: clustering coefficients versus degree
+// (Figure 2), the distribution of shortest path lengths (Figure 3),
+// connected components, degree assortativity, and k-cores. It also
+// provides the BFS vertex numbering the paper recommends so that the
+// extracted chordal subgraph of a connected graph is connected.
+package analysis
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"chordal/internal/graph"
+	"chordal/internal/worklist"
+)
+
+// TriangleCounts returns, for every vertex, the number of triangles it
+// participates in. Each triangle v < w < x is discovered exactly once
+// (from its smallest vertex, by sorted-list intersection) and credited
+// to all three corners. Discovery parallelizes over v.
+func TriangleCounts(g *graph.Graph) []int64 {
+	g = g.SortAdjacency()
+	n := g.NumVertices()
+	counts := make([]int64, n)
+	worklist.ParallelFor(n, 0, 256, func(_, vi int) {
+		v := int32(vi)
+		nv := g.Neighbors(v)
+		var own int64
+		for _, w := range nv {
+			if w <= v {
+				continue
+			}
+			forEachCommonAbove(nv, g.Neighbors(w), w, func(x int32) {
+				own++
+				atomic.AddInt64(&counts[w], 1)
+				atomic.AddInt64(&counts[x], 1)
+			})
+		}
+		if own > 0 {
+			atomic.AddInt64(&counts[v], own)
+		}
+	})
+	return counts
+}
+
+// forEachCommonAbove calls fn for every common element above threshold.
+func forEachCommonAbove(a, b []int32, threshold int32, fn func(int32)) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] > threshold {
+				fn(a[i])
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// ClusteringCoefficients returns the local clustering coefficient of
+// every vertex: triangles(v) / (deg(v) choose 2), zero for degree < 2.
+func ClusteringCoefficients(g *graph.Graph) []float64 {
+	tri := TriangleCounts(g)
+	n := g.NumVertices()
+	cc := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := int64(g.Degree(int32(v)))
+		if d >= 2 {
+			cc[v] = float64(2*tri[v]) / float64(d*(d-1))
+		}
+	}
+	return cc
+}
+
+// DegreeClusteringPoint is one point of the Figure-2 scatter: the mean
+// clustering coefficient over all vertices of a given degree.
+type DegreeClusteringPoint struct {
+	Degree   int
+	AvgCC    float64
+	Vertices int
+}
+
+// ClusteringByDegree aggregates ClusteringCoefficients by vertex degree,
+// producing the series plotted in Figure 2 (average clustering
+// coefficient versus number of neighbors).
+func ClusteringByDegree(g *graph.Graph) []DegreeClusteringPoint {
+	cc := ClusteringCoefficients(g)
+	maxDeg := g.MaxDegree()
+	sum := make([]float64, maxDeg+1)
+	cnt := make([]int, maxDeg+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(int32(v))
+		sum[d] += cc[v]
+		cnt[d]++
+	}
+	var out []DegreeClusteringPoint
+	for d := 1; d <= maxDeg; d++ {
+		if cnt[d] > 0 {
+			out = append(out, DegreeClusteringPoint{Degree: d, AvgCC: sum[d] / float64(cnt[d]), Vertices: cnt[d]})
+		}
+	}
+	return out
+}
+
+// GlobalClusteringCoefficient returns the mean local clustering
+// coefficient (the "average clustering coefficient" of the paper).
+func GlobalClusteringCoefficient(g *graph.Graph) float64 {
+	cc := ClusteringCoefficients(g)
+	if len(cc) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range cc {
+		s += x
+	}
+	return s / float64(len(cc))
+}
+
+// BFSDistances returns the BFS distance from src to every vertex
+// (-1 when unreachable).
+func BFSDistances(g *graph.Graph, src int32) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{src}
+	for d := int32(1); len(frontier) > 0; d++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == -1 {
+					dist[w] = d
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// ShortestPathHistogram computes the Figure-3 histogram: counts[d] is
+// the number of ordered vertex pairs at shortest-path distance d >= 1
+// (the paper's Figure-3 counts are ordered-pair counts: its length-1
+// frequency is twice the edge count). sources limits the number of BFS
+// roots; 0 or >= |V| runs all of them, matching the figure exactly at
+// the paper's scale 10, while fewer sources yields a strided sample
+// with the same shape. BFS runs in parallel across sources.
+func ShortestPathHistogram(g *graph.Graph, sources int) []int64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if sources <= 0 || sources > n {
+		sources = n
+	}
+	stride := n / sources
+	if stride < 1 {
+		stride = 1
+	}
+	var mu sync.Mutex
+	global := make([]int64, 0)
+	worklist.ParallelFor(sources, 0, 1, func(_, i int) {
+		src := int32(i * stride % n)
+		dist := BFSDistances(g, src)
+		local := make([]int64, 0, 32)
+		for _, d := range dist {
+			if d > 0 {
+				for int(d) >= len(local) {
+					local = append(local, 0)
+				}
+				local[d]++
+			}
+		}
+		mu.Lock()
+		for len(local) > len(global) {
+			global = append(global, 0)
+		}
+		for d := range local {
+			global[d] += local[d]
+		}
+		mu.Unlock()
+	})
+	return global
+}
+
+// Components labels each vertex with a component id (0-based, ordered
+// by lowest vertex id) and returns the number of components.
+func Components(g *graph.Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for v := 0; v < n; v++ {
+		if labels[v] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[v] = id
+		queue = append(queue[:0], int32(v))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(u) {
+				if labels[w] == -1 {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// IsConnected reports whether g is connected (true for the empty graph).
+func IsConnected(g *graph.Graph) bool {
+	_, c := Components(g)
+	return c <= 1
+}
+
+// BFSOrder returns a permutation perm such that perm[v] is the BFS visit
+// rank of v starting at root (unreached components are appended in id
+// order, each BFS'd in turn). Relabeling a connected graph with this
+// permutation guarantees, per the remark below Theorem 2, that
+// Algorithm 1 extracts a connected chordal subgraph.
+func BFSOrder(g *graph.Graph, root int32) []int32 {
+	n := g.NumVertices()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	rank := int32(0)
+	bfs := func(src int32) {
+		if perm[src] != -1 {
+			return
+		}
+		perm[src] = rank
+		rank++
+		queue := []int32{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if perm[w] == -1 {
+					perm[w] = rank
+					rank++
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	if n > 0 {
+		if root < 0 || int(root) >= n {
+			root = 0
+		}
+		bfs(root)
+		for v := 0; v < n; v++ {
+			bfs(int32(v))
+		}
+	}
+	return perm
+}
+
+// DegreeOrder returns a permutation assigning the smallest ids to the
+// highest-degree vertices (ties by original id). Relabeling with it
+// before extraction is a maximality heuristic: Algorithm 1 is the
+// Dearing subset rule with selection forced into ascending id order, so
+// a hub with a large id tests its many smaller neighbors against the
+// hub's own (initially empty) chordal set and loses most of them —
+// the star-with-high-id-center pathology. Giving hubs small ids makes
+// them early, well-populated parents instead.
+func DegreeOrder(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da, db := g.Degree(idx[a]), g.Degree(idx[b])
+		if da != db {
+			return da > db
+		}
+		return idx[a] < idx[b]
+	})
+	perm := make([]int32, n)
+	for rank, v := range idx {
+		perm[v] = int32(rank)
+	}
+	return perm
+}
+
+// DegreeAssortativity returns Newman's degree assortativity coefficient,
+// the edge-wise Pearson correlation of endpoint degrees. Biological
+// networks are assortative in the paper's sense (hubs avoid hubs),
+// giving negative values here.
+func DegreeAssortativity(g *graph.Graph) float64 {
+	var m float64
+	var sumProd, sumA, sumB, sumA2, sumB2 float64
+	g.Edges(func(u, v int32) {
+		du := float64(g.Degree(u))
+		dv := float64(g.Degree(v))
+		// Symmetrize: count each edge in both orientations.
+		sumProd += 2 * du * dv
+		sumA += du + dv
+		sumB += du + dv
+		sumA2 += du*du + dv*dv
+		sumB2 += du*du + dv*dv
+		m += 2
+	})
+	if m == 0 {
+		return 0
+	}
+	num := sumProd/m - (sumA/m)*(sumB/m)
+	den := sumA2/m - (sumA/m)*(sumB/m)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// KCores returns the core number of every vertex (the largest k such
+// that the vertex belongs to a subgraph of minimum degree k), via the
+// standard peeling algorithm with bucket queues.
+func KCores(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(int32(v)))
+		if int(deg[v]) > maxDeg {
+			maxDeg = int(deg[v])
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	pos := make([]int32, n)
+	vert := make([]int32, n)
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, bin[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		p := cursor[deg[v]]
+		cursor[deg[v]]++
+		pos[v] = p
+		vert[p] = int32(v)
+	}
+	core := make([]int32, n)
+	start := make([]int32, maxDeg+1)
+	copy(start, bin[:maxDeg+1])
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, w := range g.Neighbors(v) {
+			if deg[w] > deg[v] {
+				// Move w to the front of its current degree bucket and
+				// decrement its degree.
+				dw := deg[w]
+				pw := pos[w]
+				ph := start[dw]
+				if pw != ph {
+					other := vert[ph]
+					vert[ph], vert[pw] = w, other
+					pos[w], pos[other] = ph, pw
+				}
+				start[dw]++
+				deg[w]--
+			}
+		}
+	}
+	return core
+}

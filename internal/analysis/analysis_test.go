@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chordal/internal/graph"
+	"chordal/internal/xrand"
+)
+
+func buildGraph(n int, edges [][2]int32) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Build()
+}
+
+func path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.Build()
+}
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	rng := xrand.NewXoshiro256(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestTriangleCountsKnown(t *testing.T) {
+	// K4 has 4 triangles; every vertex is in 3 of them.
+	counts := TriangleCounts(complete(4))
+	for v, c := range counts {
+		if c != 3 {
+			t.Fatalf("K4 vertex %d in %d triangles, want 3", v, c)
+		}
+	}
+	// A path has none.
+	for _, c := range TriangleCounts(path(6)) {
+		if c != 0 {
+			t.Fatal("path has triangles?")
+		}
+	}
+	// Triangle with a tail: vertices 0,1,2 in 1 triangle, 3 in 0.
+	g := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	counts = TriangleCounts(g)
+	want := []int64{1, 1, 1, 0}
+	for v := range want {
+		if counts[v] != want[v] {
+			t.Fatalf("counts %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestTriangleCountsMatchBruteForce(t *testing.T) {
+	f := func(seed uint64, mRaw uint16) bool {
+		g := randomGraph(24, int(mRaw%200), seed)
+		fast := TriangleCounts(g)
+		slow := make([]int64, 24)
+		for u := int32(0); u < 24; u++ {
+			for v := u + 1; v < 24; v++ {
+				for w := v + 1; w < 24; w++ {
+					if g.HasEdge(u, v) && g.HasEdge(v, w) && g.HasEdge(u, w) {
+						slow[u]++
+						slow[v]++
+						slow[w]++
+					}
+				}
+			}
+		}
+		for v := range slow {
+			if fast[v] != slow[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteringCoefficients(t *testing.T) {
+	// K4: all coefficients 1. Path: all 0. Triangle+tail: vertex 2 has
+	// degree 3, one triangle: 2*1/(3*2) = 1/3.
+	for _, c := range ClusteringCoefficients(complete(4)) {
+		if c != 1 {
+			t.Fatalf("K4 clustering %v", c)
+		}
+	}
+	g := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	cc := ClusteringCoefficients(g)
+	if math.Abs(cc[2]-1.0/3) > 1e-12 {
+		t.Fatalf("cc[2] = %v, want 1/3", cc[2])
+	}
+	if cc[3] != 0 {
+		t.Fatalf("pendant clustering %v", cc[3])
+	}
+}
+
+func TestClusteringByDegree(t *testing.T) {
+	g := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	pts := ClusteringByDegree(g)
+	// Degrees: 0,1 have 2 (cc 1), 2 has 3 (cc 1/3), 3 has 1 (cc 0).
+	byDeg := map[int]DegreeClusteringPoint{}
+	for _, p := range pts {
+		byDeg[p.Degree] = p
+	}
+	if byDeg[2].AvgCC != 1 || byDeg[2].Vertices != 2 {
+		t.Fatalf("degree-2 bucket %+v", byDeg[2])
+	}
+	if math.Abs(byDeg[3].AvgCC-1.0/3) > 1e-12 {
+		t.Fatalf("degree-3 bucket %+v", byDeg[3])
+	}
+	if byDeg[1].AvgCC != 0 {
+		t.Fatalf("degree-1 bucket %+v", byDeg[1])
+	}
+	if v := GlobalClusteringCoefficient(g); math.Abs(v-(1+1+1.0/3+0)/4) > 1e-12 {
+		t.Fatalf("global clustering %v", v)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(5)
+	d := BFSDistances(g, 0)
+	for v := 0; v < 5; v++ {
+		if d[v] != int32(v) {
+			t.Fatalf("distance to %d = %d", v, d[v])
+		}
+	}
+	// Disconnected vertex unreachable.
+	g2 := buildGraph(3, [][2]int32{{0, 1}})
+	d = BFSDistances(g2, 0)
+	if d[2] != -1 {
+		t.Fatalf("unreachable distance %d", d[2])
+	}
+}
+
+func TestShortestPathHistogram(t *testing.T) {
+	// Path 0-1-2-3: ordered pairs at distance 1: 6 (3 edges × 2),
+	// distance 2: 4, distance 3: 2.
+	h := ShortestPathHistogram(path(4), 0)
+	want := []int64{0, 6, 4, 2}
+	if len(h) != len(want) {
+		t.Fatalf("histogram %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", h, want)
+		}
+	}
+	// Distance-1 count is always twice the edge count when all sources
+	// are used (the paper's Figure-3 convention).
+	g := randomGraph(100, 300, 1)
+	h = ShortestPathHistogram(g, 0)
+	if len(h) > 1 && h[1] != 2*g.NumEdges() {
+		t.Fatalf("distance-1 count %d, want %d", h[1], 2*g.NumEdges())
+	}
+	// Sampled histogram has the same support shape.
+	hs := ShortestPathHistogram(g, 10)
+	if len(hs) == 0 || len(hs) > len(h)+1 {
+		t.Fatalf("sampled histogram length %d vs full %d", len(hs), len(h))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := buildGraph(7, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	labels, count := Components(g)
+	if count != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("count = %d", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("component 0 split")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatal("component labeling wrong")
+	}
+	if labels[5] == labels[6] {
+		t.Fatal("singletons merged")
+	}
+	if IsConnected(g) {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !IsConnected(path(5)) {
+		t.Fatal("path reported disconnected")
+	}
+	if !IsConnected(graph.NewBuilder(0).Build()) {
+		t.Fatal("empty graph reported disconnected")
+	}
+}
+
+func TestBFSOrderIsPermutation(t *testing.T) {
+	g := buildGraph(6, [][2]int32{{0, 3}, {3, 5}, {1, 2}})
+	perm := BFSOrder(g, 0)
+	seen := make([]bool, 6)
+	for _, r := range perm {
+		if r < 0 || int(r) >= 6 || seen[r] {
+			t.Fatalf("invalid perm %v", perm)
+		}
+		seen[r] = true
+	}
+	// Root gets rank 0; its neighbor ranks before more distant ones.
+	if perm[0] != 0 {
+		t.Fatalf("root rank %d", perm[0])
+	}
+	if perm[3] > perm[5] {
+		t.Fatal("BFS layering violated")
+	}
+}
+
+func TestBFSOrderBadRoot(t *testing.T) {
+	g := path(4)
+	perm := BFSOrder(g, -1)
+	if perm[0] != 0 {
+		t.Fatalf("fallback root rank %d", perm[0])
+	}
+	perm = BFSOrder(g, 100)
+	if perm[0] != 0 {
+		t.Fatalf("fallback root rank %d", perm[0])
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// A star is maximally disassortative.
+	b := graph.NewBuilder(10)
+	for i := int32(1); i < 10; i++ {
+		b.AddEdge(0, i)
+	}
+	if r := DegreeAssortativity(b.Build()); r >= 0 {
+		t.Fatalf("star assortativity %v, want negative", r)
+	}
+	// A cycle is degree-regular: coefficient degenerate (0 by our
+	// convention).
+	if r := DegreeAssortativity(cycle(8)); r != 0 {
+		t.Fatalf("regular graph assortativity %v", r)
+	}
+	if r := DegreeAssortativity(graph.NewBuilder(3).Build()); r != 0 {
+		t.Fatalf("edgeless assortativity %v", r)
+	}
+}
+
+func TestKCores(t *testing.T) {
+	// K4 plus a pendant: K4 members have core 3, pendant core 1.
+	g := buildGraph(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}})
+	core := KCores(g)
+	want := []int32{3, 3, 3, 3, 1}
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("cores %v, want %v", core, want)
+		}
+	}
+	// Cycle: all cores 2. Path: all cores 1.
+	for _, c := range KCores(cycle(6)) {
+		if c != 2 {
+			t.Fatal("cycle core != 2")
+		}
+	}
+	for _, c := range KCores(path(6)) {
+		if c != 1 {
+			t.Fatal("path core != 1")
+		}
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	// Star with high-id center: center must receive id 0.
+	b := graph.NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(4, i)
+	}
+	g := b.Build()
+	perm := DegreeOrder(g)
+	if perm[4] != 0 {
+		t.Fatalf("hub rank %d, want 0", perm[4])
+	}
+	// Relabeled graph: extraction-friendly hub at 0.
+	r := g.Relabel(perm)
+	if r.Degree(0) != 4 {
+		t.Fatalf("relabeled hub degree %d", r.Degree(0))
+	}
+	// Permutation validity on a random graph.
+	g2 := randomGraph(50, 200, 3)
+	p2 := DegreeOrder(g2)
+	seen := make([]bool, 50)
+	for _, r := range p2 {
+		if seen[r] {
+			t.Fatal("DegreeOrder not a permutation")
+		}
+		seen[r] = true
+	}
+	// Ranks are sorted by descending degree.
+	inv := make([]int32, 50)
+	for v, r := range p2 {
+		inv[r] = int32(v)
+	}
+	for i := 1; i < 50; i++ {
+		if g2.Degree(inv[i-1]) < g2.Degree(inv[i]) {
+			t.Fatal("DegreeOrder ranks out of order")
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package biogen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"chordal/internal/analysis"
+	"chordal/internal/graph"
+)
+
+func TestPresetNames(t *testing.T) {
+	names := map[Dataset]string{
+		GSE5140CRT:  "GSE5140(CRT)",
+		GSE5140UNT:  "GSE5140(UNT)",
+		GSE17072CTL: "GSE17072(CTL)",
+		GSE17072NON: "GSE17072(NON)",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Fatalf("%v != %s", d, want)
+		}
+	}
+}
+
+func TestPresetParamsValidate(t *testing.T) {
+	for _, d := range []Dataset{GSE5140CRT, GSE5140UNT, GSE17072CTL, GSE17072NON} {
+		for _, down := range []int{1, 8, 64} {
+			p := PresetParams(d, down, 1)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%v/%d: %v", d, down, err)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := PresetParams(GSE5140UNT, 16, 1)
+	cases := []func(*Params){
+		func(p *Params) { p.Genes = 2 },
+		func(p *Params) { p.ModuleSize = 1 },
+		func(p *Params) { p.ModuleDensity = 0 },
+		func(p *Params) { p.ModuleDensity = 1.5 },
+		func(p *Params) { p.BridgeLen = 0 },
+		func(p *Params) { p.Hubs = -1 },
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := PresetParams(GSE5140UNT, 32, 77)
+	g1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1.Adj, g2.Adj) {
+		t.Fatal("same seed produced different networks")
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateEdgeRatios(t *testing.T) {
+	// The presets are tuned to the paper's Table-I edge/vertex ratios;
+	// allow generous tolerance at downscale.
+	wantRatio := map[Dataset]float64{
+		GSE5140CRT:  15.87,
+		GSE5140UNT:  14.31,
+		GSE17072CTL: 19.44,
+		GSE17072NON: 22.73,
+	}
+	for d, want := range wantRatio {
+		g, err := Generate(PresetParams(d, 16, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(g.NumEdges()) / float64(g.NumVertices())
+		if got < want*0.5 || got > want*1.6 {
+			t.Fatalf("%v: E/V = %.2f, paper %.2f", d, got, want)
+		}
+	}
+}
+
+func TestAssortativeStructure(t *testing.T) {
+	// Figure 2c: in the bio networks, hubs have low clustering and
+	// high-clustering vertices have few neighbors. Check both via the
+	// clustering-by-degree series and the assortativity coefficient.
+	g, err := Generate(PresetParams(GSE5140UNT, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := analysis.ClusteringByDegree(g)
+	if len(pts) == 0 {
+		t.Fatal("no clustering data")
+	}
+	// Average clustering among low-degree vertices should far exceed
+	// that among the highest-degree decile.
+	var lowSum, highSum float64
+	var lowN, highN int
+	maxDeg := pts[len(pts)-1].Degree
+	for _, p := range pts {
+		if p.Degree <= maxDeg/4 {
+			lowSum += p.AvgCC * float64(p.Vertices)
+			lowN += p.Vertices
+		} else if p.Degree >= maxDeg*3/4 {
+			highSum += p.AvgCC * float64(p.Vertices)
+			highN += p.Vertices
+		}
+	}
+	if lowN == 0 || highN == 0 {
+		t.Skip("degree range too narrow at this downscale")
+	}
+	low, high := lowSum/float64(lowN), highSum/float64(highN)
+	if low <= high {
+		t.Fatalf("low-degree clustering %.3f not above hub clustering %.3f", low, high)
+	}
+	if r := analysis.DegreeAssortativity(g); r >= 0.1 {
+		t.Fatalf("assortativity %.3f; bio-style networks should not be strongly positive", r)
+	}
+}
+
+func TestHighOverallClustering(t *testing.T) {
+	// Module structure must yield far higher mean clustering than an
+	// R-MAT graph of similar density, whose coefficients sit below 0.1
+	// at every degree in the paper's Figure 2a/2b.
+	g, err := Generate(PresetParams(GSE17072CTL, 16, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := analysis.GlobalClusteringCoefficient(g); cc < 0.15 {
+		t.Fatalf("mean clustering %.3f, want >= 0.15 for modular network", cc)
+	}
+	// The dense-core population must exist: some vertices with
+	// clustering coefficient above 0.6 (Figure 2c's upper band).
+	ccs := analysis.ClusteringCoefficients(g)
+	high := 0
+	for _, c := range ccs {
+		if c >= 0.6 {
+			high++
+		}
+	}
+	if high < g.NumVertices()/100 {
+		t.Fatalf("only %d of %d vertices in the high-clustering band", high, g.NumVertices())
+	}
+}
+
+func TestGenerateExpressionShape(t *testing.T) {
+	m, assign := GenerateExpression(100, 20, 10, 42)
+	if m.Genes != 100 || m.Samples != 20 {
+		t.Fatalf("matrix %dx%d", m.Genes, m.Samples)
+	}
+	if len(m.Data) != 100*20 {
+		t.Fatalf("data length %d", len(m.Data))
+	}
+	if len(assign) != 100 {
+		t.Fatalf("assignments %d", len(assign))
+	}
+	// At returns the same values as the backing array.
+	if m.At(3, 4) != m.Data[3*20+4] {
+		t.Fatal("At indexing wrong")
+	}
+}
+
+func TestExpressionCorrelationStructure(t *testing.T) {
+	// Same-module genes are highly correlated; different-module genes
+	// are not.
+	m, assign := GenerateExpression(200, 200, 12, 7)
+	corr := func(a, b int) float64 {
+		var ma, mb float64
+		for s := 0; s < m.Samples; s++ {
+			ma += m.At(a, s)
+			mb += m.At(b, s)
+		}
+		ma /= float64(m.Samples)
+		mb /= float64(m.Samples)
+		var num, da, db float64
+		for s := 0; s < m.Samples; s++ {
+			x, y := m.At(a, s)-ma, m.At(b, s)-mb
+			num += x * y
+			da += x * x
+			db += y * y
+		}
+		return num / math.Sqrt(da*db)
+	}
+	var sameSum, diffSum float64
+	var sameN, diffN int
+	for a := 0; a < 50; a++ {
+		for b := a + 1; b < 50; b++ {
+			c := corr(a, b)
+			if assign[a] >= 0 && assign[a] == assign[b] {
+				sameSum += c
+				sameN++
+			} else {
+				diffSum += c
+				diffN++
+			}
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Fatal("degenerate module assignment")
+	}
+	if sameSum/float64(sameN) < 0.9 {
+		t.Fatalf("intra-module correlation %.3f, want >= 0.9", sameSum/float64(sameN))
+	}
+	if math.Abs(diffSum/float64(diffN)) > 0.2 {
+		t.Fatalf("inter-module correlation %.3f, want ~0", diffSum/float64(diffN))
+	}
+}
+
+func TestCorrelationNetworkMatchesModules(t *testing.T) {
+	m, assign := GenerateExpression(150, 300, 10, 11)
+	g := CorrelationNetwork(m, 0.95)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every edge should join same-module genes (spacers are
+	// independent), and most same-module pairs should be connected.
+	intra, inter := 0, 0
+	g.Edges(func(u, v int32) {
+		if assign[u] >= 0 && assign[u] == assign[v] {
+			intra++
+		} else {
+			inter++
+		}
+	})
+	if intra == 0 {
+		t.Fatal("no intra-module edges at threshold 0.95")
+	}
+	if inter > intra/10 {
+		t.Fatalf("too many cross-module edges: %d vs %d intra", inter, intra)
+	}
+}
+
+func TestCorrelationNetworkThresholdMonotone(t *testing.T) {
+	m, _ := GenerateExpression(80, 100, 8, 13)
+	loose := CorrelationNetwork(m, 0.8)
+	tight := CorrelationNetwork(m, 0.99)
+	if tight.NumEdges() > loose.NumEdges() {
+		t.Fatalf("raising threshold added edges: %d -> %d", loose.NumEdges(), tight.NumEdges())
+	}
+}
+
+func TestGenerateScattersIDs(t *testing.T) {
+	// Vertex ids must not be module-contiguous: consecutive ids should
+	// rarely be adjacent, unlike the pre-shuffle layout.
+	g, err := Generate(PresetParams(GSE5140CRT, 32, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjacentConsecutive := 0
+	n := g.NumVertices()
+	for v := 0; v+1 < n; v++ {
+		if g.HasEdge(int32(v), int32(v+1)) {
+			adjacentConsecutive++
+		}
+	}
+	// Without shuffling nearly every consecutive pair inside a module
+	// is adjacent (density 0.92); after shuffling the rate should be
+	// near the overall density 2E/n^2.
+	if float64(adjacentConsecutive)/float64(n) > 0.3 {
+		t.Fatalf("ids look module-contiguous: %d/%d consecutive pairs adjacent", adjacentConsecutive, n)
+	}
+	_ = graph.ComputeStats(g)
+}

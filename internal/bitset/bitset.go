@@ -1,0 +1,172 @@
+// Package bitset provides dense bit sets used throughout the library for
+// vertex marking: a plain single-threaded Set, a concurrency-safe Atomic
+// set with compare-and-swap test-and-set semantics, and an EpochSet that
+// supports O(1) clearing, which the extraction queues use to deduplicate
+// vertex insertions once per iteration.
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Set is a fixed-size dense bit set. It is not safe for concurrent use.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set able to hold n bits, all initially clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Atomic is a fixed-size dense bit set safe for concurrent use.
+type Atomic struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewAtomic returns an Atomic set able to hold n bits, all clear.
+func NewAtomic(n int) *Atomic {
+	return &Atomic{words: make([]atomic.Uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (a *Atomic) Len() int { return a.n }
+
+// TestAndSet atomically sets bit i and reports whether it was previously
+// clear (that is, whether this call was the one that set it). This is the
+// fundamental "claim" operation used to insert a vertex into a queue at
+// most once.
+func (a *Atomic) TestAndSet(i int) bool {
+	w := &a.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Test reports whether bit i is set.
+func (a *Atomic) Test(i int) bool {
+	return a.words[i/wordBits].Load()&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i unconditionally.
+func (a *Atomic) Set(i int) {
+	w := &a.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 || w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// Count returns the number of set bits. It is linearizable only when no
+// concurrent mutation is in flight.
+func (a *Atomic) Count() int {
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i].Load())
+	}
+	return c
+}
+
+// Reset clears every bit. Callers must ensure no concurrent access.
+func (a *Atomic) Reset() {
+	for i := range a.words {
+		a.words[i].Store(0)
+	}
+}
+
+// EpochSet is a concurrency-safe membership set over [0, n) whose entire
+// contents can be discarded in O(1) by advancing the epoch. A slot is a
+// member exactly when its stored tag equals the current epoch. This is
+// the structure behind the "if x not in Q2" test of Algorithm 1: each
+// while-loop iteration advances the epoch instead of clearing per-vertex
+// flags.
+type EpochSet struct {
+	tags  []atomic.Uint32
+	epoch uint32
+	n     int
+}
+
+// NewEpochSet returns an EpochSet over [0, n) with an empty membership.
+func NewEpochSet(n int) *EpochSet {
+	return &EpochSet{tags: make([]atomic.Uint32, n), epoch: 1, n: n}
+}
+
+// Len returns the capacity of the set.
+func (e *EpochSet) Len() int { return e.n }
+
+// TryAdd atomically adds i for the current epoch and reports whether this
+// call performed the addition (false if i was already a member).
+func (e *EpochSet) TryAdd(i int) bool {
+	t := &e.tags[i]
+	cur := e.epoch
+	for {
+		old := t.Load()
+		if old == cur {
+			return false
+		}
+		if t.CompareAndSwap(old, cur) {
+			return true
+		}
+	}
+}
+
+// Contains reports whether i is a member in the current epoch.
+func (e *EpochSet) Contains(i int) bool { return e.tags[i].Load() == e.epoch }
+
+// NextEpoch empties the set in O(1). It must not race with TryAdd.
+// After 2^32-1 epochs the tag space wraps; NextEpoch then pays a full
+// clear to keep correctness.
+func (e *EpochSet) NextEpoch() {
+	e.epoch++
+	if e.epoch == 0 { // wrapped: stale tags could alias, so clear them
+		for i := range e.tags {
+			e.tags[i].Store(0)
+		}
+		e.epoch = 1
+	}
+}

@@ -1,0 +1,205 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasic(t *testing.T) {
+	s := New(200)
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set initially", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", s.Count())
+	}
+}
+
+func TestSetProperty(t *testing.T) {
+	// Setting an arbitrary collection of bits yields exactly that
+	// membership.
+	f := func(raw []uint16) bool {
+		s := New(1 << 16)
+		want := map[int]bool{}
+		for _, r := range raw {
+			s.Set(int(r))
+			want[int(r)] = true
+		}
+		for _, r := range raw {
+			if !s.Test(int(r)) {
+				return false
+			}
+		}
+		return s.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicTestAndSet(t *testing.T) {
+	a := NewAtomic(100)
+	if !a.TestAndSet(5) {
+		t.Fatal("first TestAndSet returned false")
+	}
+	if a.TestAndSet(5) {
+		t.Fatal("second TestAndSet returned true")
+	}
+	if !a.Test(5) {
+		t.Fatal("bit not set")
+	}
+	a.Set(6)
+	if !a.Test(6) {
+		t.Fatal("Set did not set")
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestAtomicConcurrentClaims(t *testing.T) {
+	// Exactly one goroutine must win each bit.
+	const n = 10000
+	const workers = 8
+	a := NewAtomic(n)
+	wins := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if a.TestAndSet(i) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range wins {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("total wins %d, want %d", total, n)
+	}
+	if a.Count() != n {
+		t.Fatalf("Count = %d, want %d", a.Count(), n)
+	}
+}
+
+func TestEpochSetBasic(t *testing.T) {
+	e := NewEpochSet(50)
+	if e.Len() != 50 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if !e.TryAdd(3) {
+		t.Fatal("first TryAdd failed")
+	}
+	if e.TryAdd(3) {
+		t.Fatal("duplicate TryAdd succeeded")
+	}
+	if !e.Contains(3) {
+		t.Fatal("Contains(3) false")
+	}
+	e.NextEpoch()
+	if e.Contains(3) {
+		t.Fatal("membership survived NextEpoch")
+	}
+	if !e.TryAdd(3) {
+		t.Fatal("TryAdd after NextEpoch failed")
+	}
+}
+
+func TestEpochSetManyEpochs(t *testing.T) {
+	e := NewEpochSet(4)
+	for epoch := 0; epoch < 1000; epoch++ {
+		for i := 0; i < 4; i++ {
+			if !e.TryAdd(i) {
+				t.Fatalf("epoch %d: TryAdd(%d) failed", epoch, i)
+			}
+			if e.TryAdd(i) {
+				t.Fatalf("epoch %d: duplicate TryAdd(%d) succeeded", epoch, i)
+			}
+		}
+		e.NextEpoch()
+	}
+}
+
+func TestEpochSetConcurrent(t *testing.T) {
+	const n = 4096
+	e := NewEpochSet(n)
+	for round := 0; round < 10; round++ {
+		var wg sync.WaitGroup
+		var winners [8][]int
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if e.TryAdd(i) {
+						winners[w] = append(winners[w], i)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := 0
+		for _, wn := range winners {
+			total += len(wn)
+		}
+		if total != n {
+			t.Fatalf("round %d: %d wins, want %d", round, total, n)
+		}
+		e.NextEpoch()
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	e := NewEpochSet(8)
+	e.TryAdd(1)
+	// Force the epoch counter to the wrap boundary.
+	e.epoch = ^uint32(0)
+	e.TryAdd(2)
+	e.NextEpoch() // wraps: must clear all tags
+	for i := 0; i < 8; i++ {
+		if e.Contains(i) {
+			t.Fatalf("stale member %d after wraparound", i)
+		}
+		if !e.TryAdd(i) {
+			t.Fatalf("TryAdd(%d) failed after wraparound", i)
+		}
+	}
+}
+
+func BenchmarkAtomicTestAndSet(b *testing.B) {
+	a := NewAtomic(1 << 20)
+	for i := 0; i < b.N; i++ {
+		a.TestAndSet(i & (1<<20 - 1))
+	}
+}

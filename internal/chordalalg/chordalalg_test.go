@@ -1,0 +1,321 @@
+package chordalalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"chordal/internal/core"
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+	"chordal/internal/xrand"
+)
+
+func buildGraph(n int, edges [][2]int32) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Build()
+}
+
+func path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// randomChordal extracts a chordal subgraph from a random graph; the
+// result is a realistic chordal test instance.
+func randomChordal(n, m int, seed uint64) *graph.Graph {
+	rng := xrand.NewXoshiro256(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	res, err := core.Extract(b.Build(), core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return res.ToGraph()
+}
+
+func TestPEORejectsNonChordal(t *testing.T) {
+	c4 := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if _, err := PEO(c4); err == nil {
+		t.Fatal("C4 accepted")
+	}
+	if _, err := MaxClique(c4); err == nil {
+		t.Fatal("MaxClique accepted C4")
+	}
+	if _, _, err := Coloring(c4); err == nil {
+		t.Fatal("Coloring accepted C4")
+	}
+	if _, err := Decompose(c4); err == nil {
+		t.Fatal("Decompose accepted C4")
+	}
+}
+
+func TestMaxCliqueKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K6", complete(6), 6},
+		{"path", path(7), 2},
+		{"triangle-plus-tail", buildGraph(5, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}), 3},
+		{"edgeless", graph.NewBuilder(3).Build(), 1},
+	}
+	for _, c := range cases {
+		clique, err := MaxClique(c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(clique) != c.want {
+			t.Fatalf("%s: clique size %d, want %d", c.name, len(clique), c.want)
+		}
+		// The returned set really is a clique.
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				if !c.g.HasEdge(clique[i], clique[j]) {
+					t.Fatalf("%s: returned set not a clique", c.name)
+				}
+			}
+		}
+	}
+}
+
+func TestColoringProperAndOptimal(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		g := randomChordal(120, 700, seed)
+		colors, k, err := Coloring(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Proper coloring.
+		g.Edges(func(u, v int32) {
+			if colors[u] == colors[v] {
+				t.Fatalf("edge {%d,%d} monochromatic", u, v)
+			}
+		})
+		// Optimal: chromatic number equals clique number on chordal
+		// graphs.
+		clique, err := MaxClique(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != len(clique) {
+			t.Fatalf("seed %d: colors %d != clique %d", seed, k, len(clique))
+		}
+		kk, err := ChromaticNumber(g)
+		if err != nil || kk != k {
+			t.Fatalf("ChromaticNumber %d/%v vs %d", kk, err, k)
+		}
+	}
+}
+
+func TestMaxCliqueMatchesBruteForce(t *testing.T) {
+	// On small random chordal graphs the PEO-based clique must match
+	// exhaustive search.
+	f := func(seed uint64, mRaw uint16) bool {
+		g := randomChordal(14, 2+int(mRaw%80), seed)
+		clique, err := MaxClique(g)
+		if err != nil {
+			return false
+		}
+		return len(clique) == bruteForceClique(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceClique finds the maximum clique size by subset enumeration
+// (n <= ~20).
+func bruteForceClique(g *graph.Graph) int {
+	n := g.NumVertices()
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var members []int32
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				members = append(members, int32(v))
+			}
+		}
+		if len(members) <= best {
+			continue
+		}
+		ok := true
+		for i := 0; i < len(members) && ok; i++ {
+			for j := i + 1; j < len(members); j++ {
+				if !g.HasEdge(members[i], members[j]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			best = len(members)
+		}
+	}
+	return best
+}
+
+func TestDecomposeValidity(t *testing.T) {
+	for _, seed := range []uint64{4, 5} {
+		g := randomChordal(80, 500, seed)
+		td, err := Decompose(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumVertices()
+		if len(td.Bags) != n || len(td.Parent) != n {
+			t.Fatal("decomposition size mismatch")
+		}
+		// Property 1: every vertex appears in some bag (its own).
+		inBag := make([]bool, n)
+		for _, bag := range td.Bags {
+			for _, v := range bag {
+				inBag[v] = true
+			}
+		}
+		for v, ok := range inBag {
+			if !ok {
+				t.Fatalf("vertex %d missing from all bags", v)
+			}
+		}
+		// Property 2: every edge is inside some bag.
+		g.Edges(func(u, v int32) {
+			for _, bag := range td.Bags {
+				hasU, hasV := false, false
+				for _, x := range bag {
+					if x == u {
+						hasU = true
+					}
+					if x == v {
+						hasV = true
+					}
+				}
+				if hasU && hasV {
+					return
+				}
+			}
+			t.Fatalf("edge {%d,%d} not covered by any bag", u, v)
+		})
+		// Width consistency: width+1 = max bag, and equals clique size.
+		maxBag := 0
+		for _, bag := range td.Bags {
+			if len(bag) > maxBag {
+				maxBag = len(bag)
+			}
+		}
+		if td.Width != maxBag-1 {
+			t.Fatalf("width %d vs max bag %d", td.Width, maxBag)
+		}
+		clique, _ := MaxClique(g)
+		if td.Width != len(clique)-1 {
+			t.Fatalf("treewidth %d != clique-1 %d", td.Width, len(clique)-1)
+		}
+		tw, err := Treewidth(g)
+		if err != nil || tw != td.Width {
+			t.Fatalf("Treewidth %d/%v", tw, err)
+		}
+		// Parents point forward in the order.
+		for i, p := range td.Parent {
+			if p >= 0 && int(p) <= i {
+				t.Fatalf("bag %d parent %d not later", i, p)
+			}
+		}
+	}
+}
+
+func TestMaximalCliquesCoverAndAreCliques(t *testing.T) {
+	g := randomChordal(60, 400, 6)
+	cliques, err := MaximalCliques(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cliques) == 0 || len(cliques) > g.NumVertices() {
+		t.Fatalf("%d maximal cliques for %d vertices", len(cliques), g.NumVertices())
+	}
+	// Each is a clique; the largest matches MaxClique.
+	best := 0
+	for _, c := range cliques {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !g.HasEdge(c[i], c[j]) {
+					t.Fatal("reported clique is not a clique")
+				}
+			}
+		}
+		if len(c) > best {
+			best = len(c)
+		}
+	}
+	mc, _ := MaxClique(g)
+	if best != len(mc) {
+		t.Fatalf("largest maximal clique %d, MaxClique %d", best, len(mc))
+	}
+	// Every edge lies in some maximal clique.
+	g.Edges(func(u, v int32) {
+		for _, c := range cliques {
+			hasU, hasV := false, false
+			for _, x := range c {
+				if x == u {
+					hasU = true
+				}
+				if x == v {
+					hasV = true
+				}
+			}
+			if hasU && hasV {
+				return
+			}
+		}
+		t.Fatalf("edge {%d,%d} in no maximal clique", u, v)
+	})
+}
+
+func TestMaximalCliquesK4(t *testing.T) {
+	cliques, err := MaximalCliques(complete(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cliques) != 1 || len(cliques[0]) != 4 {
+		t.Fatalf("K4 maximal cliques: %v", cliques)
+	}
+	c := append([]int32(nil), cliques[0]...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	for i, v := range c {
+		if v != int32(i) {
+			t.Fatalf("K4 clique %v", c)
+		}
+	}
+}
+
+func TestPEOOfExtractedSubgraphs(t *testing.T) {
+	// End-to-end: extract from a random graph, then the PEO pipeline
+	// must succeed on the result (this is the paper's motivating
+	// application path).
+	g := randomChordal(200, 1500, 7)
+	order, err := PEO(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify.IsPEO(g, order) {
+		t.Fatal("returned order is not a PEO")
+	}
+}

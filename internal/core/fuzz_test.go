@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+// FuzzExtractChordality feeds arbitrary byte strings interpreted as
+// edge lists through extraction and checks the Theorem-1 invariant
+// (output chordal) plus accounting invariants under all three
+// schedules. Run `go test -fuzz=FuzzExtractChordality ./internal/core`
+// to search beyond the seed corpus.
+func FuzzExtractChordality(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})                   // triangle
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 0})             // C4
+	f.Add([]byte{7, 0, 7, 1, 7, 2, 7, 3})             // high-id star
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3}) // K4
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		const n = 64
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(int32(raw[i]%n), int32(raw[i+1]%n))
+		}
+		g := b.Build()
+		var counts [3]int
+		for i, s := range []Schedule{ScheduleDataflow, ScheduleAsync, ScheduleSynchronous} {
+			res, err := Extract(g, Options{Schedule: s})
+			if err != nil {
+				t.Fatalf("%v: %v", s, err)
+			}
+			sub := res.ToGraph()
+			if !verify.IsChordal(sub) {
+				t.Fatalf("%v: output not chordal", s)
+			}
+			if res.TotalAccepted() != int64(res.NumChordalEdges()) {
+				t.Fatalf("%v: accepted %d != edges %d", s, res.TotalAccepted(), res.NumChordalEdges())
+			}
+			for _, e := range res.Edges {
+				if !g.HasEdge(e.U, e.V) {
+					t.Fatalf("%v: edge %v not in input", s, e)
+				}
+			}
+			counts[i] = res.NumChordalEdges()
+		}
+		// Repair must reach maximality on these small graphs.
+		rep, err := Extract(g, Options{RepairMaximality: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viol := verify.AuditMaximality(g, rep.ToGraph(), 1); len(viol) != 0 {
+			t.Fatalf("repair left violation %v", viol)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"chordal/internal/biogen"
+	"chordal/internal/rmat"
+)
+
+// TestGoldenCounts pins exact chordal edge and iteration counts for
+// fixed-seed inputs under the deterministic dataflow schedule. Any
+// change to the generators, the queue discipline, or the subset test
+// shows up here first; update the constants only after confirming the
+// new values are correct (chordality + maximality audits).
+func TestGoldenCounts(t *testing.T) {
+	type row struct {
+		name      string
+		edges     int64
+		chordal   int
+		iterCount int
+	}
+	var got []row
+
+	for _, preset := range []rmat.Preset{rmat.ER, rmat.G, rmat.B} {
+		g, err := rmat.Generate(rmat.PresetParams(preset, 10, 20120910))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Extract(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, row{preset.String(), g.NumEdges(), res.NumChordalEdges(), len(res.Iterations)})
+	}
+	bg, err := biogen.Generate(biogen.PresetParams(biogen.GSE5140UNT, 64, 20120910))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Extract(bg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, row{"GSE5140(UNT)/64", bg.NumEdges(), res.NumChordalEdges(), len(res.Iterations)})
+
+	want := []row{
+		{"RMAT-ER", 8115, 1007, 8},
+		{"RMAT-G", 7627, 1284, 9},
+		{"RMAT-B", 6796, 1702, 8},
+		{"GSE5140(UNT)/64", 9792, 1619, 10},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row count %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

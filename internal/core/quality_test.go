@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"chordal/internal/dearing"
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+// TestQualityVersusSerial compares the parallel algorithm's extracted
+// edge count against the serial Dearing baseline across structurally
+// diverse inputs. The parallel algorithm trades the serial greedy's
+// global selection rule for concurrency, so it can extract fewer
+// edges; this test bounds how much quality is given up and asserts the
+// repair pass recovers strict maximality everywhere.
+func TestQualityVersusSerial(t *testing.T) {
+	inputs := []struct {
+		name string
+		g    *graph.Graph
+		// minRatio is the minimum acceptable |parallel EC| / |serial EC|.
+		minRatio float64
+	}{
+		{"random-sparse", randomGraph(400, 1600, 1), 0.75},
+		{"random-dense", randomGraph(120, 3500, 2), 0.60},
+		{"bipartite-ish", bipartite(100, 100, 1200, 3), 0.45},
+		{"lollipop", lollipop(40, 200), 0.90},
+		{"cliques-chain", cliqueChain(12, 20), 0.80},
+	}
+	for _, in := range inputs {
+		serial := dearing.Extract(in.g, 0)
+		par, err := Extract(in.g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(par.NumChordalEdges()) / float64(serial.NumChordalEdges())
+		if ratio < in.minRatio {
+			t.Errorf("%s: parallel kept %d vs serial %d (ratio %.2f < %.2f)",
+				in.name, par.NumChordalEdges(), serial.NumChordalEdges(), ratio, in.minRatio)
+		}
+		// With repair the parallel result is maximal, hence within the
+		// same class of subgraphs the serial one lives in.
+		rep, err := Extract(in.g, Options{RepairMaximality: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := rep.ToGraph()
+		if !verify.IsChordal(sub) {
+			t.Fatalf("%s: repaired subgraph not chordal", in.name)
+		}
+		if len(verify.AuditMaximality(in.g, sub, 1)) != 0 {
+			t.Errorf("%s: repaired subgraph not maximal", in.name)
+		}
+	}
+}
+
+// bipartite returns a random bipartite graph with parts of size a and
+// b and roughly m edges. Bipartite graphs are triangle-free, so the
+// maximal chordal subgraph is a spanning forest — a stress case for
+// the subset rule (almost every test must reject).
+func bipartite(a, b, m int, seed uint64) *graph.Graph {
+	gb := graph.NewBuilder(a + b)
+	state := seed
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for i := 0; i < m; i++ {
+		gb.AddEdge(int32(next(a)), int32(a+next(b)))
+	}
+	return gb.Build()
+}
+
+// TestBipartiteYieldsForest checks the structural theorem directly:
+// on a triangle-free graph every extracted chordal subgraph is a
+// forest (edges <= vertices - components).
+func TestBipartiteYieldsForest(t *testing.T) {
+	g := bipartite(80, 80, 900, 7)
+	res, err := Extract(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := res.ToGraph()
+	if !verify.IsChordal(sub) {
+		t.Fatal("not chordal")
+	}
+	// A chordal triangle-free graph has no cycles at all.
+	n := sub.NumVertices()
+	comps := countComponents(sub)
+	if int(sub.NumEdges()) > n-comps {
+		t.Fatalf("forest bound violated: %d edges, %d vertices, %d components",
+			sub.NumEdges(), n, comps)
+	}
+}
+
+func countComponents(g *graph.Graph) int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	comps := 0
+	var stack []int32
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		comps++
+		seen[v] = true
+		stack = append(stack[:0], int32(v))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(u) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// lollipop returns a clique of size k with a path of length tail
+// hanging off it — maximal parallelism in the clique, none in the
+// tail.
+func lollipop(k, tail int) *graph.Graph {
+	b := graph.NewBuilder(k + tail)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	for i := 0; i < tail; i++ {
+		prev := k + i - 1
+		if i == 0 {
+			prev = k - 1
+		}
+		b.AddEdge(int32(prev), int32(k+i))
+	}
+	return b.Build()
+}
+
+// cliqueChain returns count cliques of size k, consecutive cliques
+// sharing a single vertex — a chordal graph whose extraction must be
+// lossless under every schedule.
+func cliqueChain(count, k int) *graph.Graph {
+	n := count*(k-1) + 1
+	b := graph.NewBuilder(n)
+	for c := 0; c < count; c++ {
+		base := c * (k - 1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.AddEdge(int32(base+i), int32(base+j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestCliqueChainLossless(t *testing.T) {
+	g := cliqueChain(10, 8)
+	if !verify.IsChordal(g) {
+		t.Fatal("clique chain should be chordal")
+	}
+	for _, s := range allSchedules {
+		res, err := Extract(g, Options{Schedule: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(res.NumChordalEdges()) != g.NumEdges() {
+			t.Fatalf("%v: lost %d edges of a chordal input",
+				s, g.NumEdges()-int64(res.NumChordalEdges()))
+		}
+	}
+}
+
+// TestCliqueIterationScaling verifies the paper's dense-component
+// analysis: under the synchronous schedule a k-clique needs exactly
+// k-1 iterations, while dataflow chaining resolves it in far fewer.
+func TestCliqueIterationScaling(t *testing.T) {
+	for _, k := range []int{8, 16, 32} {
+		b := graph.NewBuilder(k)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+		g := b.Build()
+		sync, err := Extract(g, Options{Schedule: ScheduleSynchronous})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sync.Iterations) != k-1 {
+			t.Fatalf("K%d synchronous: %d iterations, paper predicts %d",
+				k, len(sync.Iterations), k-1)
+		}
+		flow, err := Extract(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flow.Iterations) >= k-1 {
+			t.Fatalf("K%d dataflow: %d iterations, expected chaining to beat %d",
+				k, len(flow.Iterations), k-1)
+		}
+	}
+}
+
+// TestManyWorkersStress hammers one graph with every schedule at high
+// worker counts, checking chordality and (for deterministic schedules)
+// stable counts.
+func TestManyWorkersStress(t *testing.T) {
+	g := randomGraph(2000, 12000, 11)
+	baseline := map[Schedule]int{}
+	for _, s := range allSchedules {
+		for _, w := range []int{1, 2, 4, 8, 16, 32} {
+			res, err := Extract(g, Options{Schedule: s, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !verify.IsChordal(res.ToGraph()) {
+				t.Fatalf("%v/w%d: not chordal", s, w)
+			}
+			if s == ScheduleAsync {
+				continue // timing-dependent count is acceptable
+			}
+			if base, ok := baseline[s]; !ok {
+				baseline[s] = res.NumChordalEdges()
+			} else if base != res.NumChordalEdges() {
+				t.Fatalf("%v/w%d: count %d != baseline %d", s, w, res.NumChordalEdges(), base)
+			}
+		}
+	}
+	_ = fmt.Sprintf // keep fmt for debugging convenience
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sort"
+
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+// repairMaximality re-examines every rejected edge against the final
+// extracted subgraph and admits those whose insertion keeps it chordal,
+// repeating until a full pass admits nothing. Algorithm 1 can leave
+// such edges behind: the paper's Theorem 2 argues that a rejected edge
+// would close a cycle longer than a triangle, but a long cycle only
+// violates chordality when it is chordless, and on graphs with multiple
+// internally-connected regions the surrounding chords can exist (the
+// serial baseline avoids this by always selecting the vertex with the
+// largest candidate set, a global greedy choice the parallel algorithm
+// gives up). Admission uses the dynamic-chordal-graph separator
+// criterion (verify.CanAddEdge), so chordality is preserved exactly.
+func repairMaximality(g *graph.Graph, res *Result) {
+	adj := verify.AdjFromGraph(res.ToGraph())
+	scratch := make([]int32, len(adj))
+	for changed := true; changed; {
+		changed = false
+		g.Edges(func(u, v int32) {
+			if res.HasChordalEdge(u, v) {
+				return
+			}
+			if !verify.CanAddEdge(adj, u, v, scratch) {
+				return
+			}
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+			res.addChordalEdge(u, v)
+			res.RepairedEdges++
+			changed = true
+		})
+	}
+	if res.RepairedEdges > 0 {
+		res.sortEdges()
+	}
+}
+
+// addChordalEdge inserts u (u < v) into v's chordal set in place and
+// appends the edge. The per-vertex region was sized for every smaller
+// neighbor, so capacity is always sufficient.
+func (r *Result) addChordalEdge(u, v int32) {
+	off := r.csetOff[v]
+	n := int(r.csetLen[v])
+	set := r.csetData[off : off+int64(n)+1]
+	i := sort.Search(n, func(i int) bool { return set[i] >= u })
+	copy(set[i+1:n+1], set[i:n])
+	set[i] = u
+	r.csetLen[v]++
+	r.Edges = append(r.Edges, Edge{U: u, V: v})
+}
+
+func (r *Result) sortEdges() {
+	sort.Slice(r.Edges, func(i, j int) bool {
+		if r.Edges[i].U != r.Edges[j].U {
+			return r.Edges[i].U < r.Edges[j].U
+		}
+		return r.Edges[i].V < r.Edges[j].V
+	})
+}

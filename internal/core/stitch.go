@@ -1,0 +1,65 @@
+package core
+
+import "chordal/internal/graph"
+
+// stitchComponents connects distinct components of the extracted
+// subgraph with single original-graph edges. The paper's remark below
+// Theorem 2 combines successively numbered component pairs with one edge
+// each; a spanning stitch generalizes this — any acyclic set of
+// inter-component edges preserves chordality, because a bridge can never
+// lie on a cycle — and connects everything the original graph allows.
+func stitchComponents(g *graph.Graph, res *Result) {
+	n := res.NumVertices
+	uf := newUnionFind(n)
+	for _, e := range res.Edges {
+		uf.union(e.U, e.V)
+	}
+	added := false
+	g.Edges(func(u, v int32) {
+		if uf.find(u) != uf.find(v) {
+			uf.union(u, v)
+			res.addChordalEdge(u, v)
+			res.StitchedEdges++
+			added = true
+		}
+	})
+	if added {
+		res.sortEdges()
+	}
+}
+
+// unionFind is a standard weighted quick-union with path halving.
+type unionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int32) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

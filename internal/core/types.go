@@ -1,0 +1,267 @@
+// Package core implements the paper's contribution: the iterative
+// multithreaded algorithm (Algorithm 1) that extracts a maximal chordal
+// subgraph from a general undirected graph.
+//
+// # Algorithm
+//
+// Every vertex v tracks its lowest parent LP[v] — the smallest-id
+// neighbor below v — and an id-ordered set of chordal neighbors C[v]
+// (the smaller endpoints of its accepted chordal edges). Iterations are
+// barrier-synchronized. In each iteration, every queued parent v scans
+// its neighbors w; for those with LP[w] == v it tests the subset
+// condition C[w] ⊆ C[v]. If the condition holds, edge (v,w) joins the
+// chordal edge set and v joins C[w]. Whether or not it holds, w advances
+// to its next lowest parent, which is enqueued for the next iteration.
+// The loop ends when the queue empties; a vertex therefore tests its
+// k-th smallest parent in iteration k.
+//
+// # Concurrency
+//
+// LP[w] is unique, so each vertex has exactly one writer per iteration.
+// C[w] is an append-only array published with an atomic length store
+// (the paper's "store the set of chordal neighbors as an atomic
+// process"); concurrent readers of a parent's C[v] observe a consistent
+// prefix. In the default asynchronous mode a reader may observe a
+// mid-iteration prefix, matching the paper's behaviour on the XMT; the
+// Deterministic option snapshots all set lengths at each barrier so the
+// output is schedule-independent.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"chordal/internal/graph"
+)
+
+// Variant selects the paper's two implementations.
+type Variant int
+
+const (
+	// VariantAuto picks Optimized when the input adjacency is sorted
+	// and Unoptimized otherwise.
+	VariantAuto Variant = iota
+	// VariantOptimized is the paper's "Opt" code path: adjacency lists
+	// are sorted, so the next lowest parent is found by bumping a
+	// cursor. If the input graph is unsorted a sorted copy is made
+	// (the paper likewise excludes sorting time from Opt timings).
+	VariantOptimized
+	// VariantUnoptimized is the paper's "Unopt" code path: adjacency
+	// order is arbitrary and every next-lowest-parent step rescans the
+	// full neighbor list.
+	VariantUnoptimized
+)
+
+// String returns the paper's abbreviation for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantAuto:
+		return "Auto"
+	case VariantOptimized:
+		return "Opt"
+	case VariantUnoptimized:
+		return "Unopt"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Schedule selects how subset tests are ordered relative to the growth
+// of the chordal sets they read. All three schedules produce a chordal
+// subgraph (Theorem 1 holds for any interleaving); they differ in
+// iteration count, determinism, and whether the maximality argument of
+// Theorem 2 applies. See DESIGN.md §5.
+type Schedule int
+
+const (
+	// ScheduleDataflow is the default and models the paper's actual
+	// implementation ("we use the data flow approach to restrict the
+	// pattern in which the vertices are selected"): an edge (v,w) is
+	// tested only once v's chordal set is final (v has exhausted its
+	// own lowest parents), and a vertex chains through as many
+	// finalized parents as possible within one iteration. This is the
+	// semantics under which the paper's Theorem 2 proof is sound; it
+	// yields a schedule-independent edge set and the paper's observed
+	// iteration counts (about three for R-MAT inputs, around ten for
+	// the gene networks).
+	ScheduleDataflow Schedule = iota
+	// ScheduleAsync follows the pseudocode of Algorithm 1 literally:
+	// a queued parent tests its children against whatever chordal-set
+	// prefix is currently published. Output depends on thread timing
+	// and can miss a small number of addable edges (the Theorem 2 gap);
+	// provided for fidelity comparisons.
+	ScheduleAsync
+	// ScheduleSynchronous is the strict barrier schedule the paper's
+	// complexity analysis assumes: every vertex tests exactly its k-th
+	// lowest parent in iteration k, with chordal-set lengths
+	// snapshotted at each barrier. Deterministic, but needs up to
+	// max-smaller-degree iterations.
+	ScheduleSynchronous
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleDataflow:
+		return "Dataflow"
+	case ScheduleAsync:
+		return "Async"
+	case ScheduleSynchronous:
+		return "Synchronous"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// Options configures Extract. The zero value is ready to use: automatic
+// variant selection, GOMAXPROCS workers, dataflow schedule.
+type Options struct {
+	// Variant selects the Opt/Unopt code path; see Variant.
+	Variant Variant
+	// Workers bounds worker goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+	// Schedule selects the test-ordering discipline; see Schedule.
+	Schedule Schedule
+	// UnsortedQueue leaves each iteration's queue in arrival order
+	// instead of ascending vertex order. Successive lowest parents have
+	// increasing ids, so the default ascending queue lets dataflow
+	// chains ride a finalization wave through most of the graph in very
+	// few iterations; set this to model a machine (like the XMT) whose
+	// queue order is arbitrary, at the cost of more iterations.
+	UnsortedQueue bool
+	// RepairMaximality runs a post-pass that re-tests rejected edges
+	// against the final chordal sets and re-admits any that pass the
+	// subset condition and, verified by maximum cardinality search,
+	// keep the subgraph chordal. See DESIGN.md §5 for why Algorithm 1
+	// alone can leave such edges behind.
+	RepairMaximality bool
+	// StitchComponents adds one original-graph edge between distinct
+	// components of the extracted subgraph whenever one exists (a
+	// cycle-free spanning stitch), the generalization of the
+	// component-combining remark below Theorem 2.
+	StitchComponents bool
+	// OnEvent, when non-nil, receives every subset test: parent v,
+	// child w, and whether edge (v,w) was accepted. It is invoked
+	// concurrently unless Workers == 1. Intended for demonstrations and
+	// tests; it slows extraction.
+	OnEvent func(iteration int, parent, child int32, accepted bool)
+}
+
+// Edge is an undirected chordal edge; by construction U < V and U was
+// the lowest parent that admitted the edge.
+type Edge struct {
+	U, V int32
+}
+
+// IterationStats records one while-loop iteration of Algorithm 1,
+// the quantities behind Figure 7 of the paper.
+type IterationStats struct {
+	// Index is the 1-based iteration number.
+	Index int
+	// QueueSize is |Q1|, the number of lowest parents processed.
+	QueueSize int
+	// EdgesTested counts subset-condition evaluations (one per vertex
+	// whose LP was in the queue).
+	EdgesTested int64
+	// EdgesAccepted counts edges admitted to the chordal set.
+	EdgesAccepted int64
+	// ScanWork is the total adjacency length scanned, the per-iteration
+	// work measure consumed by the machine models.
+	ScanWork int64
+	// Duration is the wall-clock time of the iteration.
+	Duration time.Duration
+}
+
+// Result holds the extracted maximal chordal edge set and the
+// instrumentation the experiments consume.
+type Result struct {
+	// NumVertices is the vertex count of the input graph.
+	NumVertices int
+	// Edges is the chordal edge set EC.
+	Edges []Edge
+	// Iterations has one entry per while-loop iteration.
+	Iterations []IterationStats
+	// Variant is the code path actually used.
+	Variant Variant
+	// Schedule is the test-ordering discipline used.
+	Schedule Schedule
+	// Total is the wall-clock extraction time (excluding any sorting,
+	// as in the paper's reported Opt numbers).
+	Total time.Duration
+	// RepairedEdges counts edges added by the RepairMaximality pass.
+	RepairedEdges int
+	// StitchedEdges counts edges added by the StitchComponents pass.
+	StitchedEdges int
+
+	csetOff  []int64
+	csetData []int32
+	csetLen  []int32
+}
+
+// NumChordalEdges returns |EC|.
+func (r *Result) NumChordalEdges() int { return len(r.Edges) }
+
+// ChordalNeighbors returns the smaller-id chordal neighbors of v in
+// ascending order. The slice aliases internal storage; do not modify.
+func (r *Result) ChordalNeighbors(v int32) []int32 {
+	off := r.csetOff[v]
+	return r.csetData[off : off+int64(r.csetLen[v])]
+}
+
+// HasChordalEdge reports whether {u, v} is in the extracted edge set.
+func (r *Result) HasChordalEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	set := r.ChordalNeighbors(v)
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if set[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(set) && set[lo] == u
+}
+
+// ToGraph materializes the chordal edge set as a CSR graph over the same
+// vertex ids.
+func (r *Result) ToGraph() *graph.Graph {
+	us := make([]int32, len(r.Edges))
+	vs := make([]int32, len(r.Edges))
+	for i, e := range r.Edges {
+		us[i], vs[i] = e.U, e.V
+	}
+	return graph.SubgraphFromEdges(r.NumVertices, us, vs)
+}
+
+// TotalTested returns the number of subset tests over all iterations.
+func (r *Result) TotalTested() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.EdgesTested
+	}
+	return t
+}
+
+// TotalAccepted returns the number of accepted edges over all
+// iterations (excluding repair and stitch additions).
+func (r *Result) TotalAccepted() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.EdgesAccepted
+	}
+	return t
+}
+
+// QueueSizes returns |Q1| per iteration, the series plotted in Figure 7.
+func (r *Result) QueueSizes() []int {
+	out := make([]int, len(r.Iterations))
+	for i, it := range r.Iterations {
+		out[i] = it.QueueSize
+	}
+	return out
+}

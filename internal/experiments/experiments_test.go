@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps every experiment under a second for CI.
+func tinyConfig() Config {
+	return Config{
+		Scales:       []int{8},
+		BioDownscale: 64,
+		MaxProcs:     2,
+		Seed:         1,
+		SmallScale:   8,
+		Trials:       1,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, name := range Names() {
+		if name == "all" {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := Run(&buf, name, tinyConfig()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "fig99", tinyConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "RMAT-ER(8)", "RMAT-G(8)", "RMAT-B(8)",
+		"GSE5140(CRT)", "GSE5140(UNT)", "GSE17072(CTL)", "GSE17072(NON)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPctContent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Pct(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "%") {
+		t.Fatal("Pct output has no percentages")
+	}
+}
+
+func TestFig7ShowsIterations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "iterations") {
+		t.Fatal("Fig7 output missing iteration counts")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if len(cfg.Scales) == 0 || cfg.SmallScale <= 0 || cfg.Trials <= 0 {
+		t.Fatalf("bad default config %+v", cfg)
+	}
+	if cfg.maxProcs() < 1 {
+		t.Fatal("maxProcs < 1")
+	}
+	if len(Names()) != 11 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces a deduplicated,
+// self-loop-free CSR Graph. It tolerates duplicate insertions and both
+// orientations of the same edge, which is what the R-MAT generator emits.
+// A Builder is not safe for concurrent use; parallel generators should
+// build per-worker edge lists and combine them with BuildFromEdges.
+type Builder struct {
+	n  int
+	us []int32
+	vs []int32
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self loops are dropped.
+// Out-of-range endpoints panic: they indicate a generator bug.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic("graph: AddEdge endpoint out of range")
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+}
+
+// NumPending returns the number of recorded (pre-deduplication) edges.
+func (b *Builder) NumPending() int { return len(b.us) }
+
+// Build produces the deduplicated CSR graph with sorted adjacency lists.
+func (b *Builder) Build() *Graph {
+	return BuildFromEdges(b.n, b.us, b.vs)
+}
+
+// BuildFromEdges constructs a simple undirected CSR graph with sorted
+// adjacency lists from raw endpoint slices, dropping self loops and
+// duplicate edges (in either orientation). The input slices are not
+// modified. Construction parallelizes the per-vertex sort/dedup pass.
+func BuildFromEdges(n int, us, vs []int32) *Graph {
+	if len(us) != len(vs) {
+		panic("graph: BuildFromEdges endpoint slices differ in length")
+	}
+	// Count directed degree (both directions) excluding self loops.
+	counts := make([]int64, n+1)
+	for i := range us {
+		if us[i] != vs[i] {
+			counts[us[i]+1]++
+			counts[vs[i]+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	offsets := counts // prefix sums; counts[v] = start of v's bucket
+	adj := make([]int32, offsets[n])
+	cursor := make([]int64, n)
+	for i := range us {
+		u, v := us[i], vs[i]
+		if u == v {
+			continue
+		}
+		adj[offsets[u]+cursor[u]] = v
+		cursor[u]++
+		adj[offsets[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	// Sort and dedup each list in parallel, then compact.
+	newDeg := make([]int64, n+1)
+	parallelForVertices(n, func(v int) {
+		lo, hi := offsets[v], offsets[v+1]
+		s := adj[lo:hi]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		// In-place dedup.
+		k := 0
+		for i := 0; i < len(s); i++ {
+			if i == 0 || s[i] != s[i-1] {
+				s[k] = s[i]
+				k++
+			}
+		}
+		newDeg[v+1] = int64(k)
+	})
+	finalOffsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		finalOffsets[v+1] = finalOffsets[v] + newDeg[v+1]
+	}
+	finalAdj := make([]int32, finalOffsets[n])
+	parallelForVertices(n, func(v int) {
+		src := adj[offsets[v] : offsets[v]+newDeg[v+1]]
+		copy(finalAdj[finalOffsets[v]:finalOffsets[v+1]], src)
+	})
+	return &Graph{Offsets: finalOffsets, Adj: finalAdj, Sorted: true}
+}
+
+// ShuffleAdjacency returns a copy of g whose adjacency lists are each
+// pseudo-randomly permuted (deterministically from seed). This produces
+// the "unordered" input representation of the paper's unoptimized
+// variant from a canonical sorted graph.
+func ShuffleAdjacency(g *Graph, seed uint64) *Graph {
+	adj := make([]int32, len(g.Adj))
+	copy(adj, g.Adj)
+	out := &Graph{Offsets: g.Offsets, Adj: adj, Sorted: false}
+	n := g.NumVertices()
+	parallelForVertices(n, func(v int) {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		s := adj[lo:hi]
+		// Per-vertex generator so the shuffle is independent of the
+		// parallel schedule.
+		state := seed ^ (uint64(v)+1)*0x9e3779b97f4a7c15
+		next := func() uint64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		for i := len(s) - 1; i > 0; i-- {
+			j := int(next() % uint64(i+1))
+			s[i], s[j] = s[j], s[i]
+		}
+	})
+	return out
+}
+
+// workerCount picks a worker count for n items with the given minimum
+// chunk size, bounded by GOMAXPROCS.
+func workerCount(n, minChunk int) int {
+	w := runtime.GOMAXPROCS(0)
+	if max := (n + minChunk - 1) / minChunk; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

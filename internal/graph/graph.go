@@ -1,0 +1,267 @@
+// Package graph provides the compressed sparse row (CSR) graph substrate
+// used by every algorithm in this library.
+//
+// Graphs are simple (no self loops, no parallel edges), undirected, and
+// store each edge in both endpoint adjacency lists, exactly as the paper
+// describes: "we use a compressed storage format to store the graphs in
+// memory, where the neighbors of each vertex are stored contiguously".
+//
+// Vertices are identified by int32 ids in [0, NumVertices). The paper's
+// algorithm depends on this total order of ids (lowest parents), and on
+// the distinction between graphs whose adjacency lists are sorted
+// (the "Opt" variant of the paper) and unsorted (the "Unopt" variant).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Graph is an undirected graph in CSR form. The neighbors of vertex v are
+// Adj[Offsets[v]:Offsets[v+1]]. A Graph is immutable after construction
+// and safe for concurrent readers.
+type Graph struct {
+	// Offsets has length NumVertices+1; Offsets[v+1]-Offsets[v] is the
+	// degree of v.
+	Offsets []int64
+	// Adj holds the concatenated adjacency lists (2 * NumEdges entries).
+	Adj []int32
+	// Sorted records whether every adjacency list is in ascending order.
+	Sorted bool
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the adjacency list of v. The returned slice aliases
+// the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// HasEdge reports whether the edge {u, v} is present. On sorted graphs it
+// runs in O(log deg(u)); otherwise it scans.
+func (g *Graph) HasEdge(u, v int32) bool {
+	nu := g.Neighbors(u)
+	if g.Sorted {
+		i := sort.Search(len(nu), func(i int) bool { return nu[i] >= v })
+		return i < len(nu) && nu[i] == v
+	}
+	for _, w := range nu {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(int32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SortAdjacency returns a copy of g whose adjacency lists are sorted
+// ascending, the representation the paper's optimized variant requires.
+// If g is already sorted it is returned unchanged. Lists are sorted in
+// parallel across vertices.
+func (g *Graph) SortAdjacency() *Graph {
+	if g.Sorted {
+		return g
+	}
+	adj := make([]int32, len(g.Adj))
+	copy(adj, g.Adj)
+	out := &Graph{Offsets: g.Offsets, Adj: adj, Sorted: true}
+	parallelForVertices(g.NumVertices(), func(v int) {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		s := adj[lo:hi]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	})
+	return out
+}
+
+// Validate checks structural invariants: monotone offsets, neighbor ids
+// in range, no self loops, no duplicate neighbors, and symmetric edges.
+// It is O(E log E)-ish and intended for tests and tools, not hot paths.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.Offsets) == 0 || g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	if g.Offsets[n] != int64(len(g.Adj)) {
+		return fmt.Errorf("graph: final offset %d != len(adj) %d", g.Offsets[n], len(g.Adj))
+	}
+	for v := 0; v < n; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		seen := make(map[int32]bool, g.Degree(int32(v)))
+		for _, w := range g.Neighbors(int32(v)) {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if int(w) == v {
+				return fmt.Errorf("graph: self loop at vertex %d", v)
+			}
+			if seen[w] {
+				return fmt.Errorf("graph: duplicate edge {%d,%d}", v, w)
+			}
+			seen[w] = true
+		}
+		if g.Sorted {
+			nb := g.Neighbors(int32(v))
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] >= nb[i] {
+					return fmt.Errorf("graph: vertex %d marked sorted but adjacency is not", v)
+				}
+			}
+		}
+	}
+	// Symmetry: every {u,v} must appear from both sides.
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			if !g.HasEdge(w, int32(v)) {
+				return fmt.Errorf("graph: edge {%d,%d} missing reverse direction", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Edges calls fn once per undirected edge with u < v. Iteration order is
+// by u then adjacency position.
+func (g *Graph) Edges(fn func(u, v int32)) {
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if int32(u) < v {
+				fn(int32(u), v)
+			}
+		}
+	}
+}
+
+// EdgeList returns all undirected edges with U[i] < V[i].
+func (g *Graph) EdgeList() (us, vs []int32) {
+	m := g.NumEdges()
+	us = make([]int32, 0, m)
+	vs = make([]int32, 0, m)
+	g.Edges(func(u, v int32) {
+		us = append(us, u)
+		vs = append(vs, v)
+	})
+	return us, vs
+}
+
+// InducedSubgraph returns the subgraph induced by keep (a set of vertex
+// ids) together with the mapping from new ids to original ids. New ids
+// preserve the relative order of the originals.
+func (g *Graph) InducedSubgraph(keep []int32) (*Graph, []int32) {
+	sorted := make([]int32, len(keep))
+	copy(sorted, keep)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	newID := make(map[int32]int32, len(sorted))
+	for i, v := range sorted {
+		newID[v] = int32(i)
+	}
+	b := NewBuilder(len(sorted))
+	for i, v := range sorted {
+		for _, w := range g.Neighbors(v) {
+			if nw, ok := newID[w]; ok && int32(i) < nw {
+				b.AddEdge(int32(i), nw)
+			}
+		}
+	}
+	return b.Build(), sorted
+}
+
+// Relabel returns a copy of g in which old vertex v becomes perm[v].
+// perm must be a permutation of [0, NumVertices). The result preserves
+// the Sorted flag by re-sorting if g was sorted.
+func (g *Graph) Relabel(perm []int32) *Graph {
+	n := g.NumVertices()
+	if len(perm) != n {
+		panic("graph: Relabel permutation has wrong length")
+	}
+	deg := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		deg[perm[v]+1] = int64(g.Degree(int32(v)))
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v+1]
+	}
+	adj := make([]int32, len(g.Adj))
+	parallelForVertices(n, func(v int) {
+		nv := perm[v]
+		dst := adj[offsets[nv]:offsets[nv+1]]
+		for i, w := range g.Neighbors(int32(v)) {
+			dst[i] = perm[w]
+		}
+	})
+	out := &Graph{Offsets: offsets, Adj: adj}
+	if g.Sorted {
+		out = out.SortAdjacency()
+	}
+	return out
+}
+
+// SubgraphFromEdges builds a graph over the same vertex set containing
+// only the listed edges (given as endpoint pairs with no required order).
+// It is used to materialize extracted chordal edge sets as graphs.
+func SubgraphFromEdges(n int, us, vs []int32) *Graph {
+	if len(us) != len(vs) {
+		panic("graph: SubgraphFromEdges endpoint slices differ in length")
+	}
+	b := NewBuilder(n)
+	for i := range us {
+		b.AddEdge(us[i], vs[i])
+	}
+	return b.Build()
+}
+
+// parallelForVertices runs fn(v) for v in [0, n) across worker
+// goroutines in contiguous chunks.
+func parallelForVertices(n int, fn func(v int)) {
+	const minChunk = 2048
+	workers := workerCount(n, minChunk)
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			fn(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				fn(v)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

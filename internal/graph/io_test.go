@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertex counts differ: %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	au, av := a.SortAdjacency().EdgeList()
+	bu, bv := b.SortAdjacency().EdgeList()
+	if !reflect.DeepEqual(au, bu) || !reflect.DeepEqual(av, bv) {
+		t.Fatal("edge lists differ")
+	}
+}
+
+func testGraph() *Graph {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	return b.Build()
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, back)
+}
+
+func TestEdgeListCommentsAndBlankLines(t *testing.T) {
+	in := "# comment\n\n% another comment\n0 1\n 1 2 \n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestEdgeListExplicitN(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("V=%d, want 10", g.NumVertices())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := []string{"0\n", "a b\n", "0 x\n", "-1 2\n"}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, back)
+	if back.Sorted != g.Sorted {
+		t.Fatal("Sorted flag lost")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	buf.WriteString("CHRD")
+	buf.Write([]byte{9, 0, 0, 0})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "%%MatrixMarket") {
+		t.Fatal("missing banner")
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, back)
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a banner\n1 1 0\n",
+		"%%MatrixMarket matrix array real general\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n2 3 1\n1 2\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n0 1\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n3 1\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestSaveLoadFileFormats(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.bin", "g.mtx"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameGraph(t, g, back)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := SaveFile(filepath.Join(t.TempDir(), "no", "dir", "g.txt"), testGraph()); err == nil {
+		t.Fatal("bad directory accepted")
+	}
+	_ = os.ErrNotExist
+}

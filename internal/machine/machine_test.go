@@ -1,0 +1,212 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"chordal/internal/core"
+)
+
+// rmatLikeTrace models a scale-24 R-MAT run: 3 iterations, huge queues,
+// work proportional to hundreds of millions of edge scans.
+func rmatLikeTrace() Trace {
+	return Trace{
+		QueueSize:       []int{8_000_000, 9_000_000, 3},
+		Work:            []int64{300_000_000, 250_000_000, 1_000},
+		WorkingSetBytes: 4_000_000_000,
+	}
+}
+
+// bioLikeTrace models a gene-network run: ten iterations, small queues,
+// a working set that fits in a large L3 complex.
+func bioLikeTrace() Trace {
+	q := make([]int, 10)
+	w := make([]int64, 10)
+	for i := range q {
+		q[i] = 25_000
+		w[i] = 1_500_000
+	}
+	return Trace{QueueSize: q, Work: w, WorkingSetBytes: 30_000_000}
+}
+
+func TestModelsIdentity(t *testing.T) {
+	x := DefaultXMT()
+	o := DefaultCacheCPU()
+	if x.Name() != "XMT" || o.Name() != "Opteron" {
+		t.Fatal("model names")
+	}
+	if x.MaxProcessors() != 128 {
+		t.Fatalf("XMT procs %d", x.MaxProcessors())
+	}
+	if o.MaxProcessors() != 48 {
+		t.Fatalf("Opteron procs %d", o.MaxProcessors())
+	}
+}
+
+func TestPredictPositive(t *testing.T) {
+	for _, m := range []Model{DefaultXMT(), DefaultCacheCPU()} {
+		for _, tr := range []Trace{rmatLikeTrace(), bioLikeTrace()} {
+			for _, p := range []int{1, 2, 16, 128} {
+				if d := m.Predict(tr, p); d <= 0 {
+					t.Fatalf("%s p=%d: non-positive prediction %v", m.Name(), p, d)
+				}
+			}
+		}
+	}
+}
+
+func TestScalingMonotoneOnBigWork(t *testing.T) {
+	// With abundant per-iteration parallelism, doubling processors must
+	// shrink XMT predicted time.
+	x := DefaultXMT()
+	tr := rmatLikeTrace()
+	prev := x.Predict(tr, 1)
+	for p := 2; p <= 128; p *= 2 {
+		cur := x.Predict(tr, p)
+		if cur >= prev {
+			t.Fatalf("XMT time rose at p=%d: %v -> %v", p, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestXMTSpeedupRange(t *testing.T) {
+	// Paper Table II: XMT speedups of roughly 16-48 at 128 processors
+	// on the synthetic inputs.
+	s := Speedup(DefaultXMT(), rmatLikeTrace(), 128)
+	if s < 10 || s > 128 {
+		t.Fatalf("XMT 128p speedup %.1f outside plausible band", s)
+	}
+	// Bio networks speed up far less than the synthetic ones (paper:
+	// 1.1-2.0 vs 16-48; our coarse model reproduces the gap's shape,
+	// though it underestimates chain serialization and so lands nearer
+	// 8 than 2 — recorded in EXPERIMENTS.md).
+	sb := Speedup(DefaultXMT(), bioLikeTrace(), 128)
+	if sb > s/3 {
+		t.Fatalf("XMT bio speedup %.1f not well below synthetic %.1f", sb, s)
+	}
+	if sb < 1 {
+		t.Fatalf("speedup below 1: %.2f", sb)
+	}
+}
+
+func TestOpteronSpeedupRange(t *testing.T) {
+	// Paper Table II: Opteron speedups ~5-8 at 32 cores on synthetic
+	// inputs (memory bandwidth bound), ~3 on bio.
+	s := Speedup(DefaultCacheCPU(), rmatLikeTrace(), 32)
+	if s < 2 || s > 32 {
+		t.Fatalf("Opteron 32c speedup %.1f outside plausible band", s)
+	}
+}
+
+func TestCrossoverBioFavorsCPU(t *testing.T) {
+	// Figure 5: on the small biological networks the Opteron beats the
+	// XMT outright.
+	tr := bioLikeTrace()
+	x := DefaultXMT().Predict(tr, 16)
+	o := DefaultCacheCPU().Predict(tr, 16)
+	if o >= x {
+		t.Fatalf("bio trace: Opteron %v not faster than XMT %v", o, x)
+	}
+}
+
+func TestCrossoverBigGraphFavorsXMTAtScale(t *testing.T) {
+	// Figure 6a: RMAT-ER runs faster on the XMT at high processor
+	// counts (latency fully hidden, no cache to thrash).
+	tr := rmatLikeTrace()
+	x := DefaultXMT().Predict(tr, 128)
+	o := DefaultCacheCPU().Predict(tr, 32)
+	if x >= o {
+		t.Fatalf("large trace: XMT@128 %v not faster than Opteron@32 %v", x, o)
+	}
+}
+
+func TestQueueStarvationHurtsXMT(t *testing.T) {
+	// An iteration whose queue is tiny cannot use the streams: time
+	// must not improve when processors grow.
+	tr := Trace{QueueSize: []int{4}, Work: []int64{1_000_000}, WorkingSetBytes: 1 << 20}
+	x := DefaultXMT()
+	t1 := x.Predict(tr, 1)
+	t128 := x.Predict(tr, 128)
+	if t128 < t1*98/100 {
+		t.Fatalf("starved queue still sped up: %v -> %v", t1, t128)
+	}
+}
+
+func TestPredictClampsProcessors(t *testing.T) {
+	x := DefaultXMT()
+	tr := rmatLikeTrace()
+	if x.Predict(tr, 0) != x.Predict(tr, 1) {
+		t.Fatal("p=0 not clamped to 1")
+	}
+	if x.Predict(tr, 1000) != x.Predict(tr, 128) {
+		t.Fatal("p beyond machine not clamped")
+	}
+}
+
+func TestTraceFromResult(t *testing.T) {
+	res := &core.Result{
+		NumVertices: 100,
+		Iterations: []core.IterationStats{
+			{Index: 1, QueueSize: 50, EdgesTested: 200, EdgesAccepted: 40, ScanWork: 800},
+			{Index: 2, QueueSize: 20, EdgesTested: 100, EdgesAccepted: 10, ScanWork: 300},
+		},
+	}
+	tr := TraceFromResult(res, 400)
+	if len(tr.QueueSize) != 2 || len(tr.Work) != 2 {
+		t.Fatal("trace length")
+	}
+	if tr.QueueSize[0] != 50 || tr.QueueSize[1] != 20 {
+		t.Fatal("queue sizes")
+	}
+	if tr.Work[0] != 800+2*200+2*40 {
+		t.Fatalf("work[0] = %d", tr.Work[0])
+	}
+	if tr.WorkingSetBytes <= 0 {
+		t.Fatal("working set")
+	}
+}
+
+func TestScalingCurveAndPowersOfTwo(t *testing.T) {
+	procs := PowersOfTwo(48)
+	want := []int{1, 2, 4, 8, 16, 32, 48}
+	if len(procs) != len(want) {
+		t.Fatalf("procs %v", procs)
+	}
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Fatalf("procs %v", procs)
+		}
+	}
+	if p := PowersOfTwo(128); p[len(p)-1] != 128 || len(p) != 8 {
+		t.Fatalf("128 axis %v", p)
+	}
+	curve := ScalingCurve(DefaultXMT(), rmatLikeTrace(), procs)
+	if len(curve) != len(procs) {
+		t.Fatal("curve length")
+	}
+	for _, d := range curve {
+		if d <= 0 {
+			t.Fatal("non-positive point")
+		}
+	}
+}
+
+func TestEmptyIterationCharged(t *testing.T) {
+	// Zero-work iterations still cost a sync.
+	tr := Trace{QueueSize: []int{0}, Work: []int64{0}, WorkingSetBytes: 1}
+	if DefaultXMT().Predict(tr, 4) <= 0 {
+		t.Fatal("sync cost not charged")
+	}
+}
+
+func TestSpeedupDegenerate(t *testing.T) {
+	tr := Trace{}
+	// No iterations: predictions are zero; Speedup must not divide by
+	// zero.
+	s := Speedup(DefaultXMT(), tr, 8)
+	if s != 0 && (s < 0 || s != s) {
+		t.Fatalf("degenerate speedup %v", s)
+	}
+	_ = time.Duration(0)
+}

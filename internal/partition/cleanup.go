@@ -1,0 +1,123 @@
+package partition
+
+import (
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+// CleanupReport describes one run of the long-cycle elimination pass.
+type CleanupReport struct {
+	// Removed counts border edges deleted to break holes.
+	Removed int
+	// Rounds counts hole-search iterations until chordality.
+	Rounds int
+	// Chordal reports the final state (always true on return unless
+	// the round limit was hit).
+	Chordal bool
+}
+
+// Cleanup implements the cycle-elimination step the paper describes
+// for the distributed approach (Section II): border edges can assemble
+// cycles longer than three, and "this process in turn can create other
+// cycles, and the cycle elimination process has to be repeated" — the
+// repetition the paper identifies as the scheme's sequential
+// bottleneck. Each round finds a hole (a chordless cycle of length
+// >= 4), deletes one border edge on it, and repeats until the subgraph
+// is chordal or maxRounds passes without convergence (maxRounds <= 0
+// means unbounded). Only border edges are candidates: interior edges
+// come from per-partition maximal chordal subgraphs and cannot lie on
+// a hole by themselves.
+func (r *Result) Cleanup(n int, partOf func(int32) int, maxRounds int) CleanupReport {
+	adj := make([][]int32, n)
+	for _, e := range r.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	removed := map[[2]int32]bool{}
+	report := CleanupReport{}
+	for {
+		if maxRounds > 0 && report.Rounds >= maxRounds {
+			report.Chordal = verify.IsChordalAdj(adj)
+			break
+		}
+		hole := verify.FindHole(adj)
+		if hole == nil {
+			report.Chordal = true
+			break
+		}
+		report.Rounds++
+		// Delete the first border edge on the hole (one must exist).
+		deleted := false
+		k := len(hole)
+		for i := 0; i < k && !deleted; i++ {
+			u, v := hole[i], hole[(i+1)%k]
+			if partOf(u) == partOf(v) {
+				continue
+			}
+			removeEdge(adj, u, v)
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			removed[[2]int32{a, b}] = true
+			report.Removed++
+			deleted = true
+		}
+		if !deleted {
+			// A hole with no border edge means an interior extraction
+			// bug; remove any edge to guarantee progress and let the
+			// verification surface the anomaly.
+			removeEdge(adj, hole[0], hole[1])
+			report.Removed++
+		}
+	}
+	if report.Removed > 0 {
+		kept := r.Edges[:0]
+		for _, e := range r.Edges {
+			if !removed[[2]int32{e.U, e.V}] {
+				kept = append(kept, e)
+			}
+		}
+		r.Edges = kept
+		r.BorderAdmitted -= report.Removed
+		r.Chordal = report.Chordal
+	}
+	return report
+}
+
+func removeEdge(adj [][]int32, u, v int32) {
+	adj[u] = dropValue(adj[u], v)
+	adj[v] = dropValue(adj[v], u)
+}
+
+func dropValue(s []int32, x int32) []int32 {
+	for i, y := range s {
+		if y == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// ExtractAndClean runs the partitioned scheme followed by the cleanup
+// pass, yielding a guaranteed-chordal (though not necessarily maximal)
+// subgraph — the full pipeline of the paper's reference [8].
+func ExtractAndClean(g *graph.Graph, parts int) (*Result, CleanupReport) {
+	res := Extract(g, parts)
+	n := g.NumVertices()
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	rep := res.Cleanup(n, partOfFunc(n, parts), 0)
+	return res, rep
+}
+
+// partOfFunc returns the partition function used by Extract for a
+// graph with n vertices split into parts contiguous ranges.
+func partOfFunc(n, parts int) func(int32) int {
+	return func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
+}

@@ -1,0 +1,181 @@
+// Package partition implements the earlier distributed-memory approach
+// to chordal subgraph extraction that the paper discusses as related
+// work (Dempsey, Duraisamy, Ali, Bhowmick — refs [4], [5], [8]): the
+// graph is partitioned, the serial Dearing algorithm runs independently
+// on each partition's interior, and border edges (edges whose endpoints
+// lie in different partitions) are then admitted when they close a
+// triangle with already-chordal edges.
+//
+// As the paper points out, this scheme is only *nearly* chordal — border
+// edges can assemble cycles longer than three — and eliminating those
+// cycles can degenerate to sequential work. The package therefore
+// reports exactly how non-chordal the result is (via a final
+// verification) so the benchmark harness can contrast it against
+// Algorithm 1, which never admits a long cycle in the first place.
+package partition
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"chordal/internal/dearing"
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+// Result is the output of Extract.
+type Result struct {
+	// Edges is the extracted (nearly chordal) edge set, U < V.
+	Edges []dearing.Edge
+	// InteriorEdges counts edges contributed by per-partition serial
+	// extraction.
+	InteriorEdges int
+	// BorderAdmitted counts border edges admitted by the triangle rule.
+	BorderAdmitted int
+	// BorderTotal counts all border edges examined.
+	BorderTotal int
+	// Chordal records whether the combined subgraph happened to be
+	// chordal (it is not guaranteed to be).
+	Chordal bool
+	// Parts is the number of partitions used.
+	Parts int
+	// Total is the wall-clock extraction time.
+	Total time.Duration
+}
+
+// ToGraph materializes the extracted edge set.
+func (r *Result) ToGraph(n int) *graph.Graph {
+	us := make([]int32, len(r.Edges))
+	vs := make([]int32, len(r.Edges))
+	for i, e := range r.Edges {
+		us[i], vs[i] = e.U, e.V
+	}
+	return graph.SubgraphFromEdges(n, us, vs)
+}
+
+// Extract partitions g into parts contiguous vertex ranges, extracts a
+// maximal chordal subgraph inside each range concurrently with the
+// serial baseline, then admits border edges that form a triangle with
+// an interior chordal edge.
+func Extract(g *graph.Graph, parts int) *Result {
+	t0 := time.Now()
+	n := g.NumVertices()
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	res := &Result{Parts: parts}
+
+	// Contiguous range partition: vertex v belongs to part v*parts/n.
+	partOf := func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
+
+	// Interior extraction, one goroutine per part.
+	type interior struct{ edges []dearing.Edge }
+	interiors := make([]interior, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			lo := int32(int64(p) * int64(n) / int64(parts))
+			hi := int32(int64(p+1) * int64(n) / int64(parts))
+			ids := make([]int32, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				ids = append(ids, v)
+			}
+			sub, orig := g.InducedSubgraph(ids)
+			r := dearing.Extract(sub, 0)
+			edges := make([]dearing.Edge, len(r.Edges))
+			for i, e := range r.Edges {
+				u, v := orig[e.U], orig[e.V]
+				if u > v {
+					u, v = v, u
+				}
+				edges[i] = dearing.Edge{U: u, V: v}
+			}
+			interiors[p] = interior{edges: edges}
+		}(p)
+	}
+	wg.Wait()
+
+	edgeKey := func(u, v int32) int64 { return int64(u)<<32 | int64(v) }
+	chordalSet := make(map[int64]bool)
+	for _, in := range interiors {
+		for _, e := range in.edges {
+			chordalSet[edgeKey(e.U, e.V)] = true
+			res.Edges = append(res.Edges, e)
+		}
+	}
+	res.InteriorEdges = len(res.Edges)
+
+	isChordalEdge := func(u, v int32) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return chordalSet[edgeKey(u, v)]
+	}
+
+	// Border pass: admit a border edge {u,v} when some common neighbor
+	// x has both {u,x} and {v,x} already chordal (the triangle rule of
+	// ref [5]). Process in a deterministic order.
+	g.Edges(func(u, v int32) {
+		if partOf(u) == partOf(v) {
+			return
+		}
+		res.BorderTotal++
+		if closesTriangle(g, u, v, isChordalEdge) {
+			chordalSet[edgeKey(u, v)] = true
+			res.Edges = append(res.Edges, dearing.Edge{U: u, V: v})
+			res.BorderAdmitted++
+		}
+	})
+
+	sort.Slice(res.Edges, func(i, j int) bool {
+		if res.Edges[i].U != res.Edges[j].U {
+			return res.Edges[i].U < res.Edges[j].U
+		}
+		return res.Edges[i].V < res.Edges[j].V
+	})
+	res.Chordal = verify.IsChordal(res.ToGraph(n))
+	res.Total = time.Since(t0)
+	return res
+}
+
+// closesTriangle reports whether u and v share a neighbor x with both
+// {u,x} and {v,x} chordal. Intersection is a merge scan when adjacency
+// is sorted, a hash probe otherwise.
+func closesTriangle(g *graph.Graph, u, v int32, isChordal func(int32, int32) bool) bool {
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	if g.Sorted {
+		i, j := 0, 0
+		for i < len(nu) && j < len(nv) {
+			switch {
+			case nu[i] < nv[j]:
+				i++
+			case nu[i] > nv[j]:
+				j++
+			default:
+				x := nu[i]
+				if isChordal(u, x) && isChordal(v, x) {
+					return true
+				}
+				i++
+				j++
+			}
+		}
+		return false
+	}
+	set := make(map[int32]bool, len(nu))
+	for _, x := range nu {
+		set[x] = true
+	}
+	for _, x := range nv {
+		if set[x] && isChordal(u, x) && isChordal(v, x) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package rmat
+
+import (
+	"reflect"
+	"testing"
+
+	"chordal/internal/graph"
+)
+
+func TestPresetParams(t *testing.T) {
+	for _, p := range []Preset{ER, G, B} {
+		params := PresetParams(p, 10, 1)
+		if err := params.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if params.EdgeFactor != 8 {
+			t.Fatalf("%v: edge factor %d", p, params.EdgeFactor)
+		}
+		if p.String() == "" {
+			t.Fatalf("empty preset name")
+		}
+	}
+	if ER.String() != "RMAT-ER" || G.String() != "RMAT-G" || B.String() != "RMAT-B" {
+		t.Fatal("preset names differ from the paper's")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := PresetParams(ER, 10, 1)
+	cases := []func(*Params){
+		func(p *Params) { p.Scale = 0 },
+		func(p *Params) { p.Scale = 31 },
+		func(p *Params) { p.EdgeFactor = 0 },
+		func(p *Params) { p.A = 0.5 },             // sum != 1
+		func(p *Params) { p.A, p.D = -0.1, 0.65 }, // negative
+		func(p *Params) { p.Noise = 0.5 },         // out of range
+		func(p *Params) { p.Noise = -0.01 },       // negative
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := PresetParams(G, 10, 123)
+	p.Workers = 4
+	g1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1.Adj, g2.Adj) || !reflect.DeepEqual(g1.Offsets, g2.Offsets) {
+		t.Fatal("same seed produced different graphs")
+	}
+	// Worker count must not change the result: streams are jump-based.
+	p.Workers = 1
+	g3, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() == 0 {
+		t.Fatal("empty graph")
+	}
+	// Note: partitioning of the edge count across workers differs, so
+	// worker-count invariance holds per stream only when the per-worker
+	// counts match; we only require validity and determinism per
+	// configuration here.
+	if err := g3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(PresetParams(ER, 8, 1))
+	b, _ := Generate(PresetParams(ER, 8, 2))
+	if reflect.DeepEqual(a.Adj, b.Adj) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	for _, scale := range []int{6, 10, 12} {
+		g, err := Generate(PresetParams(ER, scale, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVertices() != 1<<scale {
+			t.Fatalf("scale %d: V=%d", scale, g.NumVertices())
+		}
+		// Dedup loses some of the 8n requested edges but most remain.
+		want := int64(8) << scale
+		if g.NumEdges() < want*3/4 || g.NumEdges() > want {
+			t.Fatalf("scale %d: E=%d, requested %d", scale, g.NumEdges(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDegreeVarianceOrdering(t *testing.T) {
+	// The paper's Table I: variance grows ER < G < B by orders of
+	// magnitude. Check the ordering at a small scale.
+	variance := map[Preset]float64{}
+	for _, p := range []Preset{ER, G, B} {
+		g, err := Generate(PresetParams(p, 12, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		variance[p] = graph.ComputeStats(g).DegreeVariance
+	}
+	if !(variance[ER] < variance[G] && variance[G] < variance[B]) {
+		t.Fatalf("variance ordering violated: ER=%.1f G=%.1f B=%.1f",
+			variance[ER], variance[G], variance[B])
+	}
+}
+
+func TestMaxDegreeOrdering(t *testing.T) {
+	// Table I also orders maximum degree ER << G << B.
+	maxDeg := map[Preset]int{}
+	for _, p := range []Preset{ER, G, B} {
+		g, err := Generate(PresetParams(p, 12, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxDeg[p] = g.MaxDegree()
+	}
+	if !(maxDeg[ER] < maxDeg[G] && maxDeg[G] < maxDeg[B]) {
+		t.Fatalf("max degree ordering violated: %v", maxDeg)
+	}
+}
+
+func TestNoiseStillValid(t *testing.T) {
+	p := PresetParams(B, 10, 3)
+	p.Noise = 0.05
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerClamping(t *testing.T) {
+	p := PresetParams(ER, 4, 1) // 16 vertices, 128 edges
+	p.Workers = 1000            // more workers than edges
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerateER(b *testing.B) {
+	p := PresetParams(ER, 14, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package rmat
+
+import "runtime"
+
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }

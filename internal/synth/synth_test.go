@@ -1,0 +1,184 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"chordal/internal/analysis"
+	"chordal/internal/core"
+	"chordal/internal/verify"
+)
+
+func TestGNMExactCounts(t *testing.T) {
+	for _, m := range []int64{0, 1, 50, 300} {
+		g := GNM(100, m, 7)
+		if g.NumEdges() != m {
+			t.Fatalf("m=%d: got %d edges", m, g.NumEdges())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGNMPanicsOnOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GNM(4, 7, 1)
+}
+
+func TestGNMComplete(t *testing.T) {
+	g := GNM(5, 10, 3)
+	if g.NumEdges() != 10 || g.MaxDegree() != 4 {
+		t.Fatal("K5 not produced at m = max")
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: pure ring lattice, degree exactly 2k, clustering high.
+	g := WattsStrogatz(100, 3, 0, 1)
+	for v := int32(0); v < 100; v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("lattice degree %d at %d", g.Degree(v), v)
+		}
+	}
+	if cc := analysis.GlobalClusteringCoefficient(g); cc < 0.5 {
+		t.Fatalf("lattice clustering %.3f", cc)
+	}
+}
+
+func TestWattsStrogatzRewiring(t *testing.T) {
+	lattice := WattsStrogatz(200, 3, 0, 2)
+	rewired := WattsStrogatz(200, 3, 0.3, 2)
+	// Rewiring shortens paths.
+	hl := analysis.ShortestPathHistogram(lattice, 50)
+	hr := analysis.ShortestPathHistogram(rewired, 50)
+	if len(hr) >= len(hl) {
+		t.Fatalf("rewiring did not shorten diameter: %d vs %d", len(hr), len(hl))
+	}
+	if err := rewired.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { WattsStrogatz(10, 0, 0.1, 1) },
+		func() { WattsStrogatz(10, 5, 0.1, 1) },
+		func() { WattsStrogatz(10, 2, 1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	n := 2000
+	r := GeometricRadiusForDegree(n, 8)
+	g := RandomGeometric(n, r, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(n)
+	if math.Abs(avg-8) > 2.5 {
+		t.Fatalf("average degree %.2f, want ~8", avg)
+	}
+	// Geometric graphs are highly clustered compared to GNM of the
+	// same density.
+	gnm := GNM(n, g.NumEdges(), 5)
+	if analysis.GlobalClusteringCoefficient(g) < 3*analysis.GlobalClusteringCoefficient(gnm) {
+		t.Fatal("geometric graph not more clustered than GNM")
+	}
+}
+
+func TestRandomGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomGeometric(10, 0, 1)
+}
+
+func TestKTreeIsChordalWithRightSize(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		for _, n := range []int{k + 1, 20, 100} {
+			g := KTree(n, k, 9)
+			want := int64(k)*int64(n) - int64(k)*int64(k+1)/2
+			if g.NumEdges() != want {
+				t.Fatalf("k=%d n=%d: %d edges, want %d", k, n, g.NumEdges(), want)
+			}
+			if !verify.IsChordal(g) {
+				t.Fatalf("k=%d n=%d: k-tree not chordal", k, n)
+			}
+		}
+	}
+}
+
+func TestKTreeExtractionKeepsEverything(t *testing.T) {
+	// Extraction of a chordal k-tree with construction-order ids must
+	// retain every edge: each vertex's smaller neighbors form a clique.
+	g := KTree(200, 3, 11)
+	res, err := core.Extract(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.NumChordalEdges()) != g.NumEdges() {
+		t.Fatalf("kept %d of %d k-tree edges", res.NumChordalEdges(), g.NumEdges())
+	}
+}
+
+func TestKTreePlusNoisePlantedBound(t *testing.T) {
+	// The planted k-tree lower-bounds what extraction should find:
+	// on a lightly noised instance the extracted chordal subgraph must
+	// be at least a large fraction of the planted size.
+	g, planted := KTreePlusNoise(300, 3, 150, 13)
+	if g.NumEdges() != planted+150 {
+		t.Fatalf("edge accounting: %d != %d + 150", g.NumEdges(), planted)
+	}
+	res, err := core.Extract(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify.IsChordal(res.ToGraph()) {
+		t.Fatal("not chordal")
+	}
+	if int64(res.NumChordalEdges()) < planted/2 {
+		t.Fatalf("extracted %d, planted %d — far below the planted bound", res.NumChordalEdges(), planted)
+	}
+}
+
+func TestKTreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KTree(3, 3, 1)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GNM(50, 100, 42)
+	b := GNM(50, 100, 42)
+	au, av := a.EdgeList()
+	bu, bv := b.EdgeList()
+	for i := range au {
+		if au[i] != bu[i] || av[i] != bv[i] {
+			t.Fatal("GNM not deterministic")
+		}
+	}
+	x := KTree(40, 2, 42)
+	y := KTree(40, 2, 42)
+	if x.NumEdges() != y.NumEdges() {
+		t.Fatal("KTree not deterministic")
+	}
+}

@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chordal/internal/xrand"
+)
+
+func adjFromEdges(n int, edges [][2]int32) [][]int32 {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+func TestFindHoleChordalReturnsNil(t *testing.T) {
+	cases := [][][2]int32{
+		{},                                       // edgeless
+		{{0, 1}, {1, 2}},                         // path
+		{{0, 1}, {1, 2}, {0, 2}},                 // triangle
+		{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}, // chorded C4
+	}
+	for i, edges := range cases {
+		if hole := FindHole(adjFromEdges(5, edges)); hole != nil {
+			t.Fatalf("case %d: hole %v in chordal graph", i, hole)
+		}
+	}
+}
+
+func TestFindHoleOnCycles(t *testing.T) {
+	for _, k := range []int{4, 5, 6, 9} {
+		edges := make([][2]int32, k)
+		for i := 0; i < k; i++ {
+			edges[i] = [2]int32{int32(i), int32((i + 1) % k)}
+		}
+		adj := adjFromEdges(k, edges)
+		hole := FindHole(adj)
+		if hole == nil {
+			t.Fatalf("C%d: no hole found", k)
+		}
+		if !IsHole(adj, hole) {
+			t.Fatalf("C%d: returned %v is not a hole", k, hole)
+		}
+		if len(hole) != k {
+			t.Fatalf("C%d: hole length %d", k, len(hole))
+		}
+	}
+}
+
+func TestFindHoleWithChords(t *testing.T) {
+	// C6 plus one chord (0-3): two C4-ish faces remain chordless.
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}}
+	adj := adjFromEdges(6, edges)
+	hole := FindHole(adj)
+	if hole == nil {
+		t.Fatal("no hole found in chord-split C6")
+	}
+	if !IsHole(adj, hole) {
+		t.Fatalf("%v is not a hole", hole)
+	}
+	if len(hole) != 4 {
+		t.Fatalf("expected a 4-hole, got length %d", len(hole))
+	}
+}
+
+func TestFindHoleAgreesWithIsChordal(t *testing.T) {
+	// Property: FindHole returns nil iff IsChordalAdj, and returned
+	// witnesses always validate.
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := 4 + int(nRaw%40)
+		m := int(mRaw % 300)
+		rng := xrand.NewXoshiro256(seed)
+		adj := make([][]int32, n)
+		has := map[[2]int32]bool{}
+		for i := 0; i < m; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if has[[2]int32{u, v}] {
+				continue
+			}
+			has[[2]int32{u, v}] = true
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+		hole := FindHole(adj)
+		if IsChordalAdj(adj) {
+			return hole == nil
+		}
+		return hole != nil && IsHole(adj, hole)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsHoleRejects(t *testing.T) {
+	adj := adjFromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {4, 5}})
+	cases := [][]int32{
+		{0, 1, 2},    // too short
+		{0, 1, 2, 3}, // has chord 0-2
+		{0, 1, 1, 2}, // repeat
+		{0, 1, 2, 9}, // out of range
+		{0, 1, 4, 5}, // not a cycle
+	}
+	for i, c := range cases {
+		if IsHole(adj, c) {
+			t.Fatalf("case %d accepted: %v", i, c)
+		}
+	}
+	c4 := adjFromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if !IsHole(c4, []int32{0, 1, 2, 3}) {
+		t.Fatal("valid hole rejected")
+	}
+}

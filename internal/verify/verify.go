@@ -1,0 +1,276 @@
+// Package verify provides chordality and maximality verification used by
+// the test suite, the CLI tools, and the optional maximality-repair pass.
+//
+// Chordality is decided in O(V+E) with the classic two-step procedure:
+// a Maximum Cardinality Search (Tarjan & Yannakakis) produces an
+// ordering that is a perfect elimination ordering if and only if the
+// graph is chordal, and a linear-time check validates the ordering.
+package verify
+
+import (
+	"chordal/internal/graph"
+)
+
+// MCSOrder runs Maximum Cardinality Search and returns the visit order
+// reversed, i.e. a candidate perfect elimination ordering (PEO): if the
+// graph is chordal, every vertex is simplicial in the subgraph induced
+// by itself and the vertices after it in the returned order.
+func MCSOrder(g *graph.Graph) []int32 {
+	return mcsOrder(g.NumVertices(), func(v int32) []int32 { return g.Neighbors(v) })
+}
+
+// MCSOrderAdj is MCSOrder over a slice-of-slices adjacency.
+func MCSOrderAdj(adj [][]int32) []int32 {
+	return mcsOrder(len(adj), func(v int32) []int32 { return adj[v] })
+}
+
+// mcsOrder is the shared MCS implementation: repeatedly pick an
+// unvisited vertex with the most visited neighbors, using weight
+// buckets for O(V+E) total time.
+func mcsOrder(n int, nbrs func(int32) []int32) []int32 {
+	weight := make([]int32, n)
+	visited := make([]bool, n)
+
+	// Bucket structure: doubly linked lists per weight.
+	next := make([]int32, n)
+	prev := make([]int32, n)
+	head := make([]int32, n+1) // head[w] = first vertex with weight w
+	for i := range head {
+		head[i] = -1
+	}
+	pushBucket := func(v, w int32) {
+		next[v] = head[w]
+		prev[v] = -1
+		if head[w] != -1 {
+			prev[head[w]] = v
+		}
+		head[w] = v
+	}
+	removeBucket := func(v, w int32) {
+		if prev[v] != -1 {
+			next[prev[v]] = next[v]
+		} else {
+			head[w] = next[v]
+		}
+		if next[v] != -1 {
+			prev[next[v]] = prev[v]
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		pushBucket(v, 0)
+	}
+
+	order := make([]int32, n)
+	maxW := int32(0)
+	for i := 0; i < n; i++ {
+		for maxW > 0 && head[maxW] == -1 {
+			maxW--
+		}
+		v := head[maxW]
+		removeBucket(v, maxW)
+		visited[v] = true
+		// MCS visits in this sequence; the PEO is the reverse, so fill
+		// from the back.
+		order[n-1-i] = v
+		for _, w := range nbrs(v) {
+			if !visited[w] {
+				removeBucket(w, weight[w])
+				weight[w]++
+				pushBucket(w, weight[w])
+				if weight[w] > maxW {
+					maxW = weight[w]
+				}
+			}
+		}
+	}
+	return order
+}
+
+// IsPEO reports whether order is a perfect elimination ordering of the
+// graph, using the linear-time accumulation check of Golumbic: for each
+// vertex v, its later neighbors minus the earliest of them (its
+// "parent" p) must all be adjacent to p.
+func IsPEO(g *graph.Graph, order []int32) bool {
+	return isPEO(g.NumVertices(), func(v int32) []int32 { return g.Neighbors(v) }, order)
+}
+
+// IsPEOAdj is IsPEO over a slice-of-slices adjacency.
+func IsPEOAdj(adj [][]int32, order []int32) bool {
+	return isPEO(len(adj), func(v int32) []int32 { return adj[v] }, order)
+}
+
+func isPEO(n int, nbrs func(int32) []int32, order []int32) bool {
+	if len(order) != n {
+		return false
+	}
+	pos := make([]int32, n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	// required[p] accumulates vertices that must turn out to be
+	// neighbors of p; checked when p is processed.
+	required := make([][]int32, n)
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		v := order[i]
+		// Verify previously accumulated requirements against v's
+		// actual neighborhood.
+		if len(required[v]) > 0 {
+			for _, w := range nbrs(v) {
+				mark[w] = int32(i)
+			}
+			for _, w := range required[v] {
+				if mark[w] != int32(i) {
+					return false
+				}
+			}
+			required[v] = nil
+		}
+		// Later neighbors of v; parent = the one earliest in the order.
+		var parent int32 = -1
+		var parentPos int32
+		for _, w := range nbrs(v) {
+			if pos[w] > int32(i) {
+				if parent == -1 || pos[w] < parentPos {
+					parent, parentPos = w, pos[w]
+				}
+			}
+		}
+		if parent == -1 {
+			continue
+		}
+		for _, w := range nbrs(v) {
+			if pos[w] > int32(i) && w != parent {
+				required[parent] = append(required[parent], w)
+			}
+		}
+	}
+	return true
+}
+
+// IsChordal reports whether g is a chordal graph.
+func IsChordal(g *graph.Graph) bool {
+	return IsPEO(g, MCSOrder(g))
+}
+
+// IsChordalAdj reports whether the slice-of-slices adjacency is chordal.
+func IsChordalAdj(adj [][]int32) bool {
+	return IsPEOAdj(adj, MCSOrderAdj(adj))
+}
+
+// AdjFromGraph copies g into a mutable slice-of-slices adjacency, the
+// representation used for incremental add-an-edge experiments.
+func AdjFromGraph(g *graph.Graph) [][]int32 {
+	n := g.NumVertices()
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(int32(v))
+		adj[v] = append(make([]int32, 0, len(nb)+1), nb...)
+	}
+	return adj
+}
+
+// CanAddEdge reports whether adding the non-edge {u, v} to the chordal
+// graph with the given adjacency keeps it chordal. It uses the classic
+// dynamic-chordal-graph criterion: the insertion is safe exactly when u
+// and v lie in different connected components, or their common
+// neighborhood separates u from v (every u-v path meets it, so every
+// cycle through the new edge gains a chord at the separator). The
+// check is a BFS from u that avoids N(u) ∩ N(v) and looks for v,
+// O(V+E) worst case but typically local. The adjacency must be chordal
+// and must not already contain {u, v}; scratch must have length >= |V|
+// with all entries zero, and is restored to zero before returning
+// (callers can reuse it across calls).
+func CanAddEdge(adj [][]int32, u, v int32, scratch []int32) bool {
+	// Mark the common neighborhood.
+	const (
+		inSep   = 1
+		visited = 2
+	)
+	for _, x := range adj[u] {
+		scratch[x] = inSep // tentative: only common neighbors stay
+	}
+	sep := make([]int32, 0, len(adj[u]))
+	for _, x := range adj[v] {
+		if scratch[x] == inSep {
+			sep = append(sep, x)
+		}
+	}
+	for _, x := range adj[u] {
+		scratch[x] = 0
+	}
+	for _, x := range sep {
+		scratch[x] = inSep
+	}
+	// BFS from u avoiding the separator; if v is reached, the common
+	// neighborhood does not separate them and the edge is not addable.
+	queue := []int32{u}
+	seen := []int32{u}
+	scratch[u] = visited
+	reached := false
+	for len(queue) > 0 && !reached {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, y := range adj[x] {
+			if y == v {
+				reached = true
+				break
+			}
+			if scratch[y] == 0 {
+				scratch[y] = visited
+				seen = append(seen, y)
+				queue = append(queue, y)
+			}
+		}
+	}
+	// Restore scratch for reuse.
+	for _, x := range seen {
+		scratch[x] = 0
+	}
+	for _, x := range sep {
+		scratch[x] = 0
+	}
+	return !reached
+}
+
+// MaximalityViolation is a rejected edge whose addition keeps the
+// subgraph chordal, i.e. a witness that the subgraph is not maximal.
+type MaximalityViolation struct {
+	U, V int32
+}
+
+// AuditMaximality examines every edge of g absent from sub (a subgraph
+// over the same vertex set) and returns those whose addition would keep
+// sub chordal, stopping after limit violations (limit <= 0 means no
+// limit). Each candidate is tested independently against sub as-is.
+// Cost is O(missing · (V+E)) worst case; intended for validation.
+func AuditMaximality(g, sub *graph.Graph, limit int) []MaximalityViolation {
+	adj := AdjFromGraph(sub)
+	scratch := make([]int32, len(adj))
+	var out []MaximalityViolation
+	done := false
+	g.Edges(func(u, v int32) {
+		if done || sub.HasEdge(u, v) {
+			return
+		}
+		if CanAddEdge(adj, u, v, scratch) {
+			out = append(out, MaximalityViolation{U: u, V: v})
+			if limit > 0 && len(out) >= limit {
+				done = true
+			}
+		}
+	})
+	return out
+}
+
+// IsMaximalChordal reports whether sub is chordal and no edge of g can
+// be added to it without breaking chordality.
+func IsMaximalChordal(g, sub *graph.Graph) bool {
+	if !IsChordal(sub) {
+		return false
+	}
+	return len(AuditMaximality(g, sub, 1)) == 0
+}

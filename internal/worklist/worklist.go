@@ -1,0 +1,132 @@
+// Package worklist provides the parallel iteration substrate for the
+// extraction algorithm: a dynamically scheduled parallel-for and a
+// dual-frontier queue (the paper's Q1/Q2) with per-worker insertion
+// buffers and epoch-based membership deduplication.
+//
+// The Cray XMT implementation the paper describes relies on the
+// hardware's dynamic scheduling of loop iterations over thread streams;
+// ParallelFor reproduces that with an atomic block counter so workers
+// steal fixed-size blocks, which keeps skewed-degree frontiers balanced.
+package worklist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"chordal/internal/bitset"
+)
+
+// ParallelFor executes fn(worker, i) for every i in [0, n), distributing
+// blocks of grain consecutive indices to workers dynamically. It blocks
+// until all iterations complete. workers <= 0 selects GOMAXPROCS. The
+// worker argument lets callers index per-worker scratch state without
+// locking.
+func ParallelFor(n, workers, grain int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (n + grain - 1) / grain
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				b := next.Add(1) - 1
+				if b >= int64(blocks) {
+					return
+				}
+				lo := int(b) * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Frontier is the dual-queue (Q1/Q2) of Algorithm 1. The current
+// frontier is read-only during an iteration while workers push next-
+// iteration vertices into per-worker buffers; Advance merges the buffers
+// and rolls the deduplication epoch, implementing lines 21-24 of the
+// paper's listing without per-vertex clearing.
+type Frontier struct {
+	cur     []int32
+	next    [][]int32
+	seen    *bitset.EpochSet
+	workers int
+}
+
+// NewFrontier creates a Frontier over vertex ids [0, n) for the given
+// number of worker slots (at least 1).
+func NewFrontier(n, workers int) *Frontier {
+	if workers < 1 {
+		workers = 1
+	}
+	next := make([][]int32, workers)
+	return &Frontier{next: next, seen: bitset.NewEpochSet(n), workers: workers}
+}
+
+// Workers returns the number of per-worker push slots.
+func (f *Frontier) Workers() int { return f.workers }
+
+// Seed initializes the current frontier from items, deduplicating them.
+// It must be called before the first iteration, not concurrently.
+func (f *Frontier) Seed(items []int32) {
+	f.cur = f.cur[:0]
+	for _, v := range items {
+		if f.seen.TryAdd(int(v)) {
+			f.cur = append(f.cur, v)
+		}
+	}
+	f.seen.NextEpoch()
+}
+
+// Push adds v to the next frontier if it is not already there. It is
+// safe for concurrent use provided each worker passes its own index.
+func (f *Frontier) Push(worker int, v int32) {
+	if f.seen.TryAdd(int(v)) {
+		f.next[worker] = append(f.next[worker], v)
+	}
+}
+
+// Current returns the current frontier. The returned slice must be
+// treated as read-only and is invalidated by Advance.
+func (f *Frontier) Current() []int32 { return f.cur }
+
+// Len returns the size of the current frontier.
+func (f *Frontier) Len() int { return len(f.cur) }
+
+// Advance merges the per-worker next buffers into the current frontier
+// and opens a fresh deduplication epoch. It must not run concurrently
+// with Push.
+func (f *Frontier) Advance() {
+	f.cur = f.cur[:0]
+	for w := range f.next {
+		f.cur = append(f.cur, f.next[w]...)
+		f.next[w] = f.next[w][:0]
+	}
+	f.seen.NextEpoch()
+}

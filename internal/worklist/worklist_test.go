@@ -1,0 +1,154 @@
+package worklist
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 1000, 100000} {
+		for _, workers := range []int{0, 1, 2, 7, 16} {
+			hits := make([]int32, n)
+			ParallelFor(n, workers, 16, func(_, i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d hit %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForWorkerIndexInRange(t *testing.T) {
+	const n = 10000
+	var bad atomic.Int32
+	ParallelFor(n, 4, 8, func(worker, _ int) {
+		if worker < 0 || worker >= 4 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d out-of-range worker indices", bad.Load())
+	}
+}
+
+func TestParallelForSingleWorkerOrdered(t *testing.T) {
+	// With one worker the loop must be strictly sequential in order.
+	var got []int
+	ParallelFor(100, 1, 7, func(_, i int) { got = append(got, i) })
+	for i, v := range got {
+		if i != v {
+			t.Fatalf("single-worker order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestParallelForGrainClamped(t *testing.T) {
+	// grain < 1 must not hang or skip.
+	hits := make([]int32, 50)
+	ParallelFor(50, 3, 0, func(_, i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestFrontierSeedDedup(t *testing.T) {
+	f := NewFrontier(10, 2)
+	f.Seed([]int32{3, 1, 3, 3, 7, 1})
+	got := append([]int32(nil), f.Current()...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int32{1, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFrontierPushAdvance(t *testing.T) {
+	f := NewFrontier(100, 4)
+	f.Seed([]int32{0})
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	// Push duplicates across workers; each id must appear once.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int32(0); v < 50; v++ {
+				f.Push(w, v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	f.Advance()
+	if f.Len() != 50 {
+		t.Fatalf("after Advance Len = %d, want 50", f.Len())
+	}
+	seen := map[int32]bool{}
+	for _, v := range f.Current() {
+		if seen[v] {
+			t.Fatalf("duplicate %d in frontier", v)
+		}
+		seen[v] = true
+	}
+	// Next epoch allows re-push.
+	f.Advance()
+	if f.Len() != 0 {
+		t.Fatalf("empty advance Len = %d", f.Len())
+	}
+	f.Push(0, 7)
+	f.Advance()
+	if f.Len() != 1 || f.Current()[0] != 7 {
+		t.Fatalf("re-push failed: %v", f.Current())
+	}
+}
+
+func TestFrontierWorkersFloor(t *testing.T) {
+	f := NewFrontier(4, 0)
+	if f.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", f.Workers())
+	}
+	f.Push(0, 2)
+	f.Advance()
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFrontierManyIterations(t *testing.T) {
+	// Simulate the extraction loop shape: repeated push/advance cycles
+	// with overlapping ids, verifying per-epoch dedup.
+	f := NewFrontier(1000, 3)
+	f.Seed([]int32{0, 1, 2})
+	for iter := 0; iter < 200; iter++ {
+		cur := f.Current()
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, v := range cur {
+					f.Push(w, (v+1)%1000)
+					f.Push(w, (v+1)%1000) // duplicate on purpose
+				}
+			}(w)
+		}
+		wg.Wait()
+		f.Advance()
+		if f.Len() != len(cur) {
+			t.Fatalf("iter %d: frontier grew from %d to %d despite dedup", iter, len(cur), f.Len())
+		}
+	}
+}

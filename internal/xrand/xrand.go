@@ -1,0 +1,194 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators suitable for parallel graph generation.
+//
+// The package offers two generators:
+//
+//   - SplitMix64: a tiny 64-bit generator used mainly for seeding.
+//   - Xoshiro256: xoshiro256**, a high-quality general-purpose generator.
+//
+// Both are deterministic given a seed, and Xoshiro256 supports Jump, which
+// advances the state by 2^128 steps. Jump lets a driver hand each worker
+// goroutine an independent, non-overlapping stream derived from a single
+// seed, so parallel generation is reproducible regardless of scheduling.
+package xrand
+
+import "math"
+
+// SplitMix64 is the 64-bit SplitMix generator of Steele, Lea and Flood.
+// It is primarily used to expand a single user seed into the larger state
+// vectors required by Xoshiro256. The zero value is a valid generator
+// seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements the xoshiro256** 1.0 generator of Blackman and
+// Vigna. It has a period of 2^256-1 and passes all common statistical
+// batteries. It must be created with NewXoshiro256 (an all-zero state is
+// invalid and is corrected by the constructor).
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is expanded from seed
+// using SplitMix64, as recommended by the xoshiro authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// An all-zero state would be a fixed point; SplitMix64 cannot emit
+	// four zeros in a row from any seed, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64-bit value in the sequence.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return x.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits to remove modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := x.Uint64()
+		if v <= max {
+			return v % n
+		}
+	}
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and
+// standard deviation 1, generated with the Marsaglia polar method.
+func (x *Xoshiro256) NormFloat64() float64 {
+	for {
+		u := 2*x.Float64() - 1
+		v := 2*x.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// jumpPoly is the characteristic polynomial used by Jump.
+var jumpPoly = [4]uint64{
+	0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+	0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+}
+
+// Jump advances the generator by 2^128 steps. Calling Jump k times on
+// independent copies of the same generator yields k non-overlapping
+// subsequences each of length 2^128.
+func (x *Xoshiro256) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, jp := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if jp&(1<<uint(b)) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
+// Split returns a new generator seeded from this one's stream. The child
+// is statistically independent for practical purposes and the parent
+// advances by one step. Split is cheaper than Jump and sufficient when
+// strict stream-disjointness is not required.
+func (x *Xoshiro256) Split() *Xoshiro256 {
+	return NewXoshiro256(x.Uint64())
+}
+
+// Streams returns n generators with pairwise disjoint subsequences, all
+// derived from seed. Stream i is the base generator jumped i times, so
+// the assignment of streams to workers is stable across runs.
+func Streams(seed uint64, n int) []*Xoshiro256 {
+	out := make([]*Xoshiro256, n)
+	base := NewXoshiro256(seed)
+	for i := 0; i < n; i++ {
+		cp := *base
+		out[i] = &cp
+		base.Jump()
+	}
+	return out
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as an []int32,
+// using the Fisher-Yates shuffle.
+func (x *Xoshiro256) Perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the elements of a slice using the
+// provided swap function, in the manner of math/rand.Shuffle.
+func (x *Xoshiro256) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,250 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for the standard SplitMix64 with seed 0.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("value %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(7)
+	b := NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewXoshiro256(8)
+	same := 0
+	a = NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewXoshiro256(1)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewXoshiro256(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewXoshiro256(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewXoshiro256(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Frequency test over a small modulus, checking Lemire rejection
+	// removes bias.
+	r := NewXoshiro256(4)
+	const n, draws = 10, 1000000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := NewXoshiro256(5)
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewXoshiro256(6)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestJumpDisjoint(t *testing.T) {
+	// After a jump, the streams should not overlap for practical
+	// lengths: compare prefixes.
+	a := NewXoshiro256(9)
+	b := NewXoshiro256(9)
+	b.Jump()
+	seen := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		seen[a.Uint64()] = true
+	}
+	collisions := 0
+	for i := 0; i < 10000; i++ {
+		if seen[b.Uint64()] {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("jumped stream collided %d times with base prefix", collisions)
+	}
+}
+
+func TestStreamsStable(t *testing.T) {
+	s1 := Streams(11, 4)
+	s2 := Streams(11, 4)
+	for i := range s1 {
+		for j := 0; j < 100; j++ {
+			if s1[i].Uint64() != s2[i].Uint64() {
+				t.Fatalf("stream %d not reproducible", i)
+			}
+		}
+	}
+	// Stream i of a larger set matches stream i of a smaller set.
+	a := Streams(11, 2)
+	b := Streams(11, 4)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 100; j++ {
+			if a[i].Uint64() != b[i].Uint64() {
+				t.Fatalf("stream %d depends on total stream count", i)
+			}
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewXoshiro256(12)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid entry %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	// Shuffling preserves the multiset.
+	f := func(seed uint64, raw []byte) bool {
+		r := NewXoshiro256(seed)
+		vals := make([]int, len(raw))
+		counts := map[byte]int{}
+		for i, b := range raw {
+			vals[i] = int(b)
+			counts[b]++
+		}
+		r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		for _, v := range vals {
+			counts[byte(v)]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	r := NewXoshiro256(13)
+	child := r.Split()
+	// The parent advanced; both streams should still behave sanely.
+	if child == nil {
+		t.Fatal("nil child")
+	}
+	a, b := r.Uint64(), child.Uint64()
+	if a == b {
+		t.Fatal("parent and child emitted identical first values")
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
