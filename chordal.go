@@ -70,6 +70,17 @@ const (
 	VariantUnoptimized = core.VariantUnoptimized
 )
 
+// Schedule selects how subset tests are ordered relative to the growth
+// of the chordal sets they read; see the core package for semantics.
+type Schedule = core.Schedule
+
+// Extraction schedules; see the core package for semantics.
+const (
+	ScheduleDataflow    = core.ScheduleDataflow
+	ScheduleAsync       = core.ScheduleAsync
+	ScheduleSynchronous = core.ScheduleSynchronous
+)
+
 // RMATPreset selects one of the paper's three R-MAT parameterizations.
 type RMATPreset = rmat.Preset
 

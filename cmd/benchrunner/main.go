@@ -1,11 +1,14 @@
 // Command benchrunner regenerates the paper's evaluation artifacts:
 // Table I, Figures 2-7, Table II and the §V chordal-edge percentages.
+// It can also benchmark the full pipeline on any input source.
 //
 // Usage:
 //
 //	benchrunner -exp all
 //	benchrunner -exp fig4 -scales 14,15,16 -maxprocs 8
 //	benchrunner -exp table2 -bio-downscale 4 -trials 5
+//	benchrunner -graph rmat-g:18 -maxprocs 8    # worker sweep on one input
+//	benchrunner -graph web.mtx -trials 5
 //
 // The paper's absolute scales (2^24-2^26 vertices on a 128-processor
 // Cray XMT) exceed commodity environments; pick -scales to fit your
@@ -17,9 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"chordal"
 	"chordal/internal/experiments"
 )
 
@@ -28,6 +34,7 @@ func main() {
 	var (
 		exp    = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|"))
 		scales = flag.String("scales", "", "comma-separated R-MAT scales (default 14,15,16)")
+		graphS = flag.String("graph", "", "pipeline source (path or generator spec): run an extraction worker sweep on it instead of a paper experiment")
 	)
 	flag.IntVar(&cfg.BioDownscale, "bio-downscale", cfg.BioDownscale, "bio network gene-count divisor (1 = paper size)")
 	flag.IntVar(&cfg.MaxProcs, "maxprocs", cfg.MaxProcs, "max workers in scaling sweeps (0 = GOMAXPROCS)")
@@ -35,6 +42,14 @@ func main() {
 	flag.IntVar(&cfg.SmallScale, "small-scale", cfg.SmallScale, "scale for structure figures 2-3 (paper: 10)")
 	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "timing trials per measurement (fastest kept)")
 	flag.Parse()
+
+	if *graphS != "" {
+		if err := sweep(*graphS, cfg.MaxProcs, cfg.Trials); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scales != "" {
 		cfg.Scales = cfg.Scales[:0]
@@ -51,4 +66,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
+}
+
+// sweep measures pipeline acquisition once and extraction across a
+// doubling worker axis on the given source, the Figure 4/5-style curve
+// for arbitrary inputs.
+func sweep(source string, maxProcs, trials int) error {
+	if maxProcs <= 0 {
+		maxProcs = runtime.GOMAXPROCS(0)
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	acq, err := chordal.Pipeline{Source: source}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("source %s: %s\n", source, acq.InputStats)
+	for _, st := range acq.Timings {
+		fmt.Printf("stage %-8s %12s\n", st.Stage, st.Duration)
+	}
+	axis := []int{}
+	for w := 1; w <= maxProcs; w *= 2 {
+		axis = append(axis, w)
+	}
+	if last := axis[len(axis)-1]; last != maxProcs {
+		axis = append(axis, maxProcs) // full-machine endpoint
+	}
+	fmt.Printf("\n%8s %14s %14s %10s\n", "workers", "extract", "chordal-edges", "iters")
+	for _, workers := range axis {
+		best := time.Duration(0)
+		var edges, iters int
+		for t := 0; t < trials; t++ {
+			res, err := chordal.Extract(acq.Input, chordal.Options{Workers: workers})
+			if err != nil {
+				return err
+			}
+			// Keep every column from the same (fastest) run.
+			if best == 0 || res.Total < best {
+				best = res.Total
+				edges, iters = res.NumChordalEdges(), len(res.Iterations)
+			}
+		}
+		fmt.Printf("%8d %14s %14d %10d\n", workers, best, edges, iters)
+	}
+	return nil
 }

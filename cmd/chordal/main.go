@@ -1,11 +1,12 @@
 // Command chordal extracts a maximal chordal subgraph from a graph file
-// using the paper's multithreaded algorithm, optionally verifying the
-// result and writing the subgraph out.
+// or generator spec using the paper's multithreaded algorithm,
+// optionally verifying the result and writing the subgraph out. It is a
+// thin flag layer over the chordal.Pipeline API.
 //
 // Usage:
 //
 //	chordal -in graph.bin -out sub.bin -verify
-//	chordal -in graph.txt -variant unopt -schedule async -workers 8
+//	chordal -in rmat-g:16:7 -variant unopt -schedule async -workers 8
 //	chordal -in graph.txt -serial          # Dearing et al. baseline
 package main
 
@@ -14,21 +15,16 @@ import (
 	"fmt"
 	"os"
 
-	"chordal/internal/analysis"
-	"chordal/internal/core"
-	"chordal/internal/dearing"
-	"chordal/internal/graph"
-	"chordal/internal/partition"
-	"chordal/internal/verify"
+	"chordal"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input graph path (required)")
+		in       = flag.String("in", "", "input graph path or generator spec (required)")
 		out      = flag.String("out", "", "optional output path for the chordal subgraph")
 		variant  = flag.String("variant", "auto", "auto|opt|unopt")
 		schedule = flag.String("schedule", "dataflow", "dataflow|async|sync")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		serial   = flag.Bool("serial", false, "use the serial Dearing et al. baseline")
 		parts    = flag.Int("partition", 0, "use the distributed-style baseline with this many partitions (plus cycle cleanup)")
 		repair   = flag.Bool("repair", false, "run the maximality repair post-pass")
@@ -36,103 +32,98 @@ func main() {
 		bfs      = flag.Bool("bfs-relabel", false, "renumber vertices in BFS order before extraction")
 		doVerify = flag.Bool("verify", false, "verify chordality (and audit maximality on small graphs)")
 		iters    = flag.Bool("iters", false, "print per-iteration queue statistics")
+		timings  = flag.Bool("timings", false, "print per-stage pipeline timings")
 	)
 	flag.Parse()
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "chordal: -in is required")
+		fmt.Fprintln(os.Stderr, "chordal: -in is required (a path or one of:\n"+chordal.SourceSpecs+")")
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := graph.LoadFile(*in)
+
+	p := chordal.Pipeline{
+		Source:     *in,
+		Extract:    true,
+		Serial:     *serial,
+		Partitions: *parts,
+		Verify:     *doVerify,
+		Output:     *out,
+	}
+	if *bfs {
+		p.Relabel = chordal.RelabelBFS
+	}
+	p.Options.Workers = *workers
+	p.Options.RepairMaximality = *repair
+	p.Options.StitchComponents = *stitch
+	var err error
+	if p.Options.Variant, err = chordal.ParseVariant(*variant); err != nil {
+		fail(err)
+	}
+	if p.Options.Schedule, err = chordal.ParseSchedule(*schedule); err != nil {
+		fail(err)
+	}
+
+	res, err := p.Run()
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("input: %s\n", graph.ComputeStats(g))
-
+	fmt.Printf("input: %s\n", res.InputStats)
 	if *bfs {
-		g = g.Relabel(analysis.BFSOrder(g, 0))
 		fmt.Println("relabeled vertices in BFS order")
 	}
 
-	var sub *graph.Graph
 	switch {
 	case *serial:
-		r := dearing.Extract(g, 0)
-		fmt.Printf("serial (Dearing et al.): %d chordal edges in %s\n", r.NumChordalEdges(), r.Total)
-		sub = r.ToGraph(g.NumVertices())
+		fmt.Printf("serial (Dearing et al.): %d chordal edges in %s\n",
+			res.Subgraph.NumEdges(), res.SerialDuration)
 	case *parts > 0:
-		r, rep := partition.ExtractAndClean(g, *parts)
+		ps := res.Partition
 		fmt.Printf("partitioned (%d parts): %d interior + %d border edges kept; cleanup removed %d in %d rounds\n",
-			r.Parts, r.InteriorEdges, r.BorderAdmitted, rep.Removed, rep.Rounds)
-		sub = r.ToGraph(g.NumVertices())
+			ps.Parts, ps.InteriorEdges, ps.BorderAdmitted, ps.CleanupRemoved, ps.CleanupRounds)
 	default:
-		opts := core.Options{Workers: *workers, RepairMaximality: *repair, StitchComponents: *stitch}
-		switch *variant {
-		case "auto":
-			opts.Variant = core.VariantAuto
-		case "opt":
-			opts.Variant = core.VariantOptimized
-		case "unopt":
-			opts.Variant = core.VariantUnoptimized
-		default:
-			fail(fmt.Errorf("unknown variant %q", *variant))
-		}
-		switch *schedule {
-		case "dataflow":
-			opts.Schedule = core.ScheduleDataflow
-		case "async":
-			opts.Schedule = core.ScheduleAsync
-		case "sync":
-			opts.Schedule = core.ScheduleSynchronous
-		default:
-			fail(fmt.Errorf("unknown schedule %q", *schedule))
-		}
-		res, err := core.Extract(g, opts)
-		if err != nil {
-			fail(err)
-		}
+		r := res.Extraction
 		fmt.Printf("parallel (%s/%s): %d chordal edges (%.1f%% of input) in %s, %d iterations\n",
-			res.Variant, res.Schedule, res.NumChordalEdges(),
-			100*float64(res.NumChordalEdges())/float64(g.NumEdges()),
-			res.Total, len(res.Iterations))
-		if res.RepairedEdges > 0 {
-			fmt.Printf("repair pass re-admitted %d edges\n", res.RepairedEdges)
+			r.Variant, r.Schedule, r.NumChordalEdges(),
+			100*float64(r.NumChordalEdges())/float64(res.Input.NumEdges()),
+			r.Total, len(r.Iterations))
+		if r.RepairedEdges > 0 {
+			fmt.Printf("repair pass re-admitted %d edges\n", r.RepairedEdges)
 		}
-		if res.StitchedEdges > 0 {
-			fmt.Printf("stitch pass connected %d component pairs\n", res.StitchedEdges)
+		if r.StitchedEdges > 0 {
+			fmt.Printf("stitch pass connected %d component pairs\n", r.StitchedEdges)
 		}
 		if *iters {
 			fmt.Printf("%6s %12s %12s %12s %12s\n", "iter", "|Q1|", "tested", "accepted", "time")
-			for _, it := range res.Iterations {
+			for _, it := range r.Iterations {
 				fmt.Printf("%6d %12d %12d %12d %12s\n",
 					it.Index, it.QueueSize, it.EdgesTested, it.EdgesAccepted, it.Duration)
 			}
 		}
-		sub = res.ToGraph()
 	}
 
-	if *doVerify {
-		if !verify.IsChordal(sub) {
+	if res.Verified {
+		if !res.ChordalOK {
 			fail(fmt.Errorf("verification FAILED: output is not chordal"))
 		}
 		fmt.Println("verified: output is chordal")
-		if g.NumEdges() <= 200000 {
-			viol := verify.AuditMaximality(g, sub, 10)
-			if len(viol) == 0 {
-				fmt.Println("verified: output is maximal (no re-addable edges)")
-			} else {
-				fmt.Printf("maximality audit: %d+ re-addable edges (see DESIGN.md §5; rerun with -repair)\n", len(viol))
-			}
-		} else {
+		switch {
+		case !res.MaximalityAudited:
 			fmt.Println("maximality audit skipped (graph too large; use -repair to enforce)")
+		case res.ReAddableEdges == 0:
+			fmt.Println("verified: output is maximal (no re-addable edges)")
+		default:
+			fmt.Printf("maximality audit: %d+ re-addable edges (see DESIGN.md §5; rerun with -repair)\n",
+				res.ReAddableEdges)
 		}
 	}
 
 	if *out != "" {
-		if err := graph.SaveFile(*out, sub); err != nil {
-			fail(err)
+		fmt.Printf("wrote %s: %s\n", *out, chordal.ComputeStats(res.Subgraph))
+	}
+	if *timings {
+		for _, st := range res.Timings {
+			fmt.Printf("stage %-8s %12s\n", st.Stage, st.Duration)
 		}
-		fmt.Printf("wrote %s: %s\n", *out, graph.ComputeStats(sub))
 	}
 }
 

@@ -1,15 +1,17 @@
 // Command graphgen generates the test-suite graphs of the paper and
-// writes them to disk.
+// writes them to disk through the chordal.Pipeline generate→write path.
 //
 // Usage:
 //
 //	graphgen -kind rmat-er -scale 16 -seed 42 -out er16.bin
 //	graphgen -kind gse5140-unt -downscale 8 -out bio.txt
+//	graphgen -spec gnm:100000:800000:7 -out gnm.bin
 //
 // Kinds: rmat-er, rmat-g, rmat-b, gse5140-crt, gse5140-unt,
-// gse17072-ctl, gse17072-non. The output format follows the file
-// extension: .bin (binary CSR), .mtx (Matrix Market), anything else a
-// text edge list.
+// gse17072-ctl, gse17072-non; -spec accepts any pipeline source spec
+// and overrides -kind. The output format follows the file extension:
+// .bin (binary CSR), .mtx (Matrix Market), anything else a text edge
+// list.
 package main
 
 import (
@@ -17,14 +19,13 @@ import (
 	"fmt"
 	"os"
 
-	"chordal/internal/biogen"
-	"chordal/internal/graph"
-	"chordal/internal/rmat"
+	"chordal"
 )
 
 func main() {
 	var (
 		kind      = flag.String("kind", "rmat-er", "graph family: rmat-er|rmat-g|rmat-b|gse5140-crt|gse5140-unt|gse17072-ctl|gse17072-non")
+		spec      = flag.String("spec", "", "full generator spec (overrides -kind); one of:\n"+chordal.SourceSpecs)
 		scale     = flag.Int("scale", 14, "R-MAT scale (2^scale vertices)")
 		edgeFac   = flag.Int("edgefactor", 8, "R-MAT edges per vertex")
 		downscale = flag.Int("downscale", 8, "bio network gene-count divisor (1 = paper size)")
@@ -38,43 +39,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := generate(*kind, *scale, *edgeFac, *downscale, *seed)
+	source := *spec
+	if source == "" {
+		switch *kind {
+		case "rmat-er", "rmat-g", "rmat-b":
+			source = fmt.Sprintf("%s:%d:%d:%d", *kind, *scale, *seed, *edgeFac)
+		case "gse5140-crt", "gse5140-unt", "gse17072-ctl", "gse17072-non":
+			source = fmt.Sprintf("%s:%d:%d", *kind, *downscale, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
+			os.Exit(2)
+		}
+	}
+	res, err := chordal.Pipeline{Source: source, Output: *out}.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
-	if err := graph.SaveFile(*out, g); err != nil {
-		fmt.Fprintln(os.Stderr, "graphgen:", err)
-		os.Exit(1)
-	}
 	if *stats {
-		fmt.Printf("%s: %s\n", *out, graph.ComputeStats(g))
+		fmt.Printf("%s: %s\n", *out, res.InputStats)
 	}
-}
-
-func generate(kind string, scale, edgeFactor, downscale int, seed uint64) (*graph.Graph, error) {
-	switch kind {
-	case "rmat-er", "rmat-g", "rmat-b":
-		var preset rmat.Preset
-		switch kind {
-		case "rmat-er":
-			preset = rmat.ER
-		case "rmat-g":
-			preset = rmat.G
-		default:
-			preset = rmat.B
-		}
-		p := rmat.PresetParams(preset, scale, seed)
-		p.EdgeFactor = edgeFactor
-		return rmat.Generate(p)
-	case "gse5140-crt":
-		return biogen.Generate(biogen.PresetParams(biogen.GSE5140CRT, downscale, seed))
-	case "gse5140-unt":
-		return biogen.Generate(biogen.PresetParams(biogen.GSE5140UNT, downscale, seed))
-	case "gse17072-ctl":
-		return biogen.Generate(biogen.PresetParams(biogen.GSE17072CTL, downscale, seed))
-	case "gse17072-non":
-		return biogen.Generate(biogen.PresetParams(biogen.GSE17072NON, downscale, seed))
-	}
-	return nil, fmt.Errorf("unknown kind %q", kind)
 }

@@ -6,7 +6,10 @@
 // Usage:
 //
 //	graphstats -in graph.bin
-//	graphstats -in graph.txt -paths -clustering -sources 512
+//	graphstats -in rmat-b:14 -paths -clustering -sources 512
+//
+// -in accepts a file path or any chordal.Pipeline generator spec; the
+// graph is acquired through the pipeline's parallel ingestion path.
 package main
 
 import (
@@ -14,14 +17,14 @@ import (
 	"fmt"
 	"os"
 
+	"chordal"
 	"chordal/internal/analysis"
-	"chordal/internal/graph"
 	"chordal/internal/verify"
 )
 
 func main() {
 	var (
-		in         = flag.String("in", "", "input graph path (required)")
+		in         = flag.String("in", "", "input graph path or generator spec (required)")
 		clustering = flag.Bool("clustering", false, "print average clustering coefficient by degree (Figure 2)")
 		paths      = flag.Bool("paths", false, "print shortest-path-length distribution (Figure 3)")
 		sources    = flag.Int("sources", 0, "BFS sources for -paths (0 = all)")
@@ -34,13 +37,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := graph.LoadFile(*in)
+	res, err := chordal.Pipeline{Source: *in}.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphstats:", err)
 		os.Exit(1)
 	}
+	g := res.Input
 
-	fmt.Println(graph.ComputeStats(g))
+	fmt.Println(res.InputStats)
 	_, comps := analysis.Components(g)
 	fmt.Printf("components: %d\n", comps)
 	fmt.Printf("degree assortativity: %+.4f\n", analysis.DegreeAssortativity(g))

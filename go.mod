@@ -1,0 +1,3 @@
+module chordal
+
+go 1.22

@@ -12,7 +12,7 @@ import (
 	"sync/atomic"
 
 	"chordal/internal/graph"
-	"chordal/internal/worklist"
+	"chordal/internal/parallel"
 )
 
 // TriangleCounts returns, for every vertex, the number of triangles it
@@ -23,7 +23,7 @@ func TriangleCounts(g *graph.Graph) []int64 {
 	g = g.SortAdjacency()
 	n := g.NumVertices()
 	counts := make([]int64, n)
-	worklist.ParallelFor(n, 0, 256, func(_, vi int) {
+	parallel.For(n, 0, 256, func(_, vi int) {
 		v := int32(vi)
 		nv := g.Neighbors(v)
 		var own int64
@@ -168,7 +168,7 @@ func ShortestPathHistogram(g *graph.Graph, sources int) []int64 {
 	}
 	var mu sync.Mutex
 	global := make([]int64, 0)
-	worklist.ParallelFor(sources, 0, 1, func(_, i int) {
+	parallel.For(sources, 0, 1, func(_, i int) {
 		src := int32(i * stride % n)
 		dist := BFSDistances(g, src)
 		local := make([]int64, 0, 32)

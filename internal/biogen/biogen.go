@@ -40,6 +40,7 @@ import (
 	"math"
 
 	"chordal/internal/graph"
+	"chordal/internal/parallel"
 	"chordal/internal/xrand"
 )
 
@@ -170,14 +171,19 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Generate builds the network from the structural model directly.
+// Generate builds the network from the structural model directly. The
+// module layout is laid down serially (it is a sequential chain), then
+// the quadratic intra-module edge sampling and the hub wiring run in
+// parallel on per-module and per-hub PRNG streams into per-worker edge
+// buffers, keeping the output deterministic in Seed.
 func Generate(p Params) (*graph.Graph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	rng := xrand.NewXoshiro256(p.Seed)
 	n := p.Genes
-	b := graph.NewBuilder(n)
+	workers := parallel.WorkerCount(0)
+	bufs := parallel.NewEdgeBuffers(workers)
 
 	// Reserve the first Hubs ids for hub genes so hubs tend to be low
 	// ids. (Gene ids in correlation studies carry no meaning; the paper
@@ -232,46 +238,54 @@ func Generate(p Params) (*graph.Graph, error) {
 			v += size
 			blen := 1 + rng.Intn(2*p.BridgeLen)
 			for j := 0; j < blen && v < n; j++ {
-				b.AddEdge(int32(prev), int32(v))
+				bufs.Add(0, int32(prev), int32(v))
 				prev = v
 				v++
 			}
 			// The next module starts at the bridge end and connects to
 			// it through its first gene.
 			if v < n {
-				b.AddEdge(int32(prev), int32(v))
+				bufs.Add(0, int32(prev), int32(v))
 			}
 		} else {
 			v += step
 		}
 	}
 
-	// Intra-module edges at each module's density.
-	for _, m := range modules {
+	// Intra-module edges at each module's density: the quadratic bulk of
+	// generation, parallel over modules on disjoint PRNG streams.
+	moduleStreams := xrand.Streams(p.Seed^0x5bd1e9955bd1e995, len(modules))
+	parallel.For(len(modules), workers, 4, func(worker, mi int) {
+		m := modules[mi]
+		mrng := moduleStreams[mi]
 		for i := m.lo; i < m.hi; i++ {
 			for j := i + 1; j < m.hi; j++ {
-				if rng.Float64() < m.density {
-					b.AddEdge(int32(i), int32(j))
+				if mrng.Float64() < m.density {
+					bufs.Add(worker, int32(i), int32(j))
 				}
 			}
 		}
-	}
+	})
 
 	// Hubs: each hub connects to HubDegree genes drawn from distinct
 	// random modules, at most a few per module, so hub neighbourhoods
 	// are sparse among themselves (low hub clustering coefficient).
-	for h := 0; h < hubEnd; h++ {
-		deg := p.HubDegree/2 + rng.Intn(p.HubDegree+1)
+	// Parallel over hubs, one PRNG stream each.
+	hubStreams := xrand.Streams(p.Seed^0xa24baed4963ee407, hubEnd)
+	parallel.For(hubEnd, workers, 1, func(worker, h int) {
+		hrng := hubStreams[h]
+		deg := p.HubDegree/2 + hrng.Intn(p.HubDegree+1)
 		for k := 0; k < deg; k++ {
-			m := modules[rng.Intn(len(modules))]
-			t := m.lo + rng.Intn(m.hi-m.lo)
-			b.AddEdge(int32(h), int32(t))
+			m := modules[hrng.Intn(len(modules))]
+			t := m.lo + hrng.Intn(m.hi-m.lo)
+			bufs.Add(worker, int32(h), int32(t))
 		}
 		// Hubs are "unlikely to be connected" to each other
 		// (assortative networks, Newman 2002): add no hub-hub edges.
-	}
+	})
 
-	g := b.Build()
+	us, vs := bufs.Concat()
+	g := graph.BuildFromEdges(n, us, vs)
 	// Scatter vertex ids: microarray probe ids carry no relation to
 	// co-expression modules, so module members must not be contiguous
 	// in id space. (This also matters for reproduction fidelity: the

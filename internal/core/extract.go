@@ -2,12 +2,13 @@ package core
 
 import (
 	"fmt"
-	"runtime"
+	"slices"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"chordal/internal/graph"
+	"chordal/internal/parallel"
 	"chordal/internal/worklist"
 )
 
@@ -16,13 +17,13 @@ import (
 // lp is noParent is "finalized": its chordal set can no longer grow.
 const noParent = int32(-1)
 
-// workerCounters accumulates per-worker statistics. The pad keeps each
-// worker's counters on its own cache line.
+// workerCounters accumulates per-worker statistics; instances live in a
+// []parallel.Padded[workerCounters] so each worker's counters stay on
+// their own cache line.
 type workerCounters struct {
 	tested   int64
 	accepted int64
 	scan     int64
-	_        [40]byte
 }
 
 // state carries the shared arrays of one extraction run.
@@ -42,7 +43,7 @@ type state struct {
 
 	frontier *worklist.Frontier
 	workers  int
-	counters []workerCounters
+	counters []parallel.Padded[workerCounters]
 	edgeBufs [][]Edge
 	opts     Options
 	iter     int
@@ -74,17 +75,14 @@ func Extract(g *graph.Graph, opts Options) (*Result, error) {
 		g = g.SortAdjacency()
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := parallel.WorkerCount(opts.Workers)
 
 	st := &state{
 		g:        g,
 		opt:      variant == VariantOptimized,
 		workers:  workers,
 		opts:     opts,
-		counters: make([]workerCounters, workers),
+		counters: parallel.NewPadded[workerCounters](workers),
 		edgeBufs: make([][]Edge, workers),
 	}
 	start := time.Now()
@@ -109,9 +107,9 @@ func Extract(g *graph.Graph, opts Options) (*Result, error) {
 		before := st.totals()
 		cur := st.frontier.Current()
 		if !opts.UnsortedQueue {
-			sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+			slices.Sort(cur)
 		}
-		worklist.ParallelFor(len(cur), workers, 64, func(worker, i int) {
+		parallel.For(len(cur), workers, 64, func(worker, i int) {
 			st.processParent(worker, cur[i])
 		})
 		after := st.totals()
@@ -149,9 +147,9 @@ func Extract(g *graph.Graph, opts Options) (*Result, error) {
 // totals sums the per-worker counters.
 func (st *state) totals() (t workerCounters) {
 	for i := range st.counters {
-		t.tested += st.counters[i].tested
-		t.accepted += st.counters[i].accepted
-		t.scan += st.counters[i].scan
+		t.tested += st.counters[i].V.tested
+		t.accepted += st.counters[i].V.accepted
+		t.scan += st.counters[i].V.scan
 	}
 	return t
 }
@@ -169,7 +167,7 @@ func (st *state) initialize() {
 	}
 	st.frontier = worklist.NewFrontier(n, st.workers)
 
-	worklist.ParallelFor(n, st.workers, 2048, func(worker, v int) {
+	parallel.For(n, st.workers, 2048, func(worker, v int) {
 		nb := g.Neighbors(int32(v))
 		if st.opt {
 			// Sorted: smaller neighbors form a prefix.
@@ -210,7 +208,7 @@ func (st *state) initialize() {
 	}
 
 	// Q1 <- distinct lowest parents.
-	worklist.ParallelFor(n, st.workers, 2048, func(worker, v int) {
+	parallel.For(n, st.workers, 2048, func(worker, v int) {
 		if p := st.lp[v]; p != noParent {
 			st.frontier.Push(worker, p)
 		}
@@ -241,7 +239,7 @@ func (st *state) processParent(worker int, v int32) {
 	}
 	g := st.g
 	nb := g.Neighbors(v)
-	ctr := &st.counters[worker]
+	ctr := &st.counters[worker].V
 	ctr.scan += int64(len(nb))
 
 	start := 0
@@ -275,7 +273,7 @@ func (st *state) processParent(worker int, v int32) {
 // other threads act on w only after the final lp store publishes a
 // parent this thread is done with.
 func (st *state) testChain(worker int, parent, w int32, dataflow bool) {
-	ctr := &st.counters[worker]
+	ctr := &st.counters[worker].V
 	for {
 		// Subset test C[w] ⊆ C[parent] (line 15). This worker owns w,
 		// so C[w]'s length is stable; C[parent] may still be growing
@@ -341,7 +339,7 @@ func (st *state) nextParent(worker int, w, current int32) int32 {
 	// above the current parent (this is exactly the cost the paper's
 	// Opt variant removes).
 	nb := st.g.Neighbors(w)
-	st.counters[worker].scan += int64(len(nb))
+	st.counters[worker].V.scan += int64(len(nb))
 	next := noParent
 	for _, x := range nb {
 		if x > current && x < w && (next == noParent || x < next) {

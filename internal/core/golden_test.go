@@ -46,7 +46,11 @@ func TestGoldenCounts(t *testing.T) {
 		{"RMAT-ER", 8115, 1007, 8},
 		{"RMAT-G", 7627, 1284, 9},
 		{"RMAT-B", 6796, 1702, 8},
-		{"GSE5140(UNT)/64", 9792, 1619, 10},
+		// Pinned after the biogen generator moved its module and hub
+		// sampling onto per-module PRNG streams (parallel generation);
+		// the new instance was re-audited: extraction output chordal,
+		// deterministic across runs, usual few §5 repairable edges.
+		{"GSE5140(UNT)/64", 9903, 1600, 12},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("row count %d", len(got))

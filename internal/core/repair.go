@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"chordal/internal/graph"
@@ -57,10 +58,10 @@ func (r *Result) addChordalEdge(u, v int32) {
 }
 
 func (r *Result) sortEdges() {
-	sort.Slice(r.Edges, func(i, j int) bool {
-		if r.Edges[i].U != r.Edges[j].U {
-			return r.Edges[i].U < r.Edges[j].U
+	slices.SortFunc(r.Edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
 		}
-		return r.Edges[i].V < r.Edges[j].V
+		return int(a.V) - int(b.V)
 	})
 }

@@ -14,8 +14,10 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
-	"sync"
+
+	"chordal/internal/parallel"
 )
 
 // Graph is an undirected graph in CSR form. The neighbors of vertex v are
@@ -86,10 +88,9 @@ func (g *Graph) SortAdjacency() *Graph {
 	adj := make([]int32, len(g.Adj))
 	copy(adj, g.Adj)
 	out := &Graph{Offsets: g.Offsets, Adj: adj, Sorted: true}
-	parallelForVertices(g.NumVertices(), func(v int) {
+	parallel.ForVertices(g.NumVertices(), func(v int) {
 		lo, hi := g.Offsets[v], g.Offsets[v+1]
-		s := adj[lo:hi]
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		slices.Sort(adj[lo:hi])
 	})
 	return out
 }
@@ -169,18 +170,44 @@ func (g *Graph) EdgeList() (us, vs []int32) {
 // InducedSubgraph returns the subgraph induced by keep (a set of vertex
 // ids) together with the mapping from new ids to original ids. New ids
 // preserve the relative order of the originals.
+//
+// The id remap is a flat slice when keep is a sizable fraction of the
+// graph — analysis passes call this on most of a large graph, where
+// per-vertex hashing dominates — and falls back to a map for small
+// keeps so many-small-parts callers (the partitioned baseline) do not
+// pay O(NumVertices) per call.
 func (g *Graph) InducedSubgraph(keep []int32) (*Graph, []int32) {
 	sorted := make([]int32, len(keep))
 	copy(sorted, keep)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	newID := make(map[int32]int32, len(sorted))
-	for i, v := range sorted {
-		newID[v] = int32(i)
+	slices.Sort(sorted)
+	var lookup func(w int32) (int32, bool)
+	if n := g.NumVertices(); len(sorted) >= n/16 {
+		const absent = int32(-1)
+		newID := make([]int32, n)
+		for i := range newID {
+			newID[i] = absent
+		}
+		for i, v := range sorted {
+			newID[v] = int32(i)
+		}
+		lookup = func(w int32) (int32, bool) {
+			nw := newID[w]
+			return nw, nw != absent
+		}
+	} else {
+		newID := make(map[int32]int32, len(sorted))
+		for i, v := range sorted {
+			newID[v] = int32(i)
+		}
+		lookup = func(w int32) (int32, bool) {
+			nw, ok := newID[w]
+			return nw, ok
+		}
 	}
 	b := NewBuilder(len(sorted))
 	for i, v := range sorted {
 		for _, w := range g.Neighbors(v) {
-			if nw, ok := newID[w]; ok && int32(i) < nw {
+			if nw, ok := lookup(w); ok && int32(i) < nw {
 				b.AddEdge(int32(i), nw)
 			}
 		}
@@ -205,7 +232,7 @@ func (g *Graph) Relabel(perm []int32) *Graph {
 		offsets[v+1] = offsets[v] + deg[v+1]
 	}
 	adj := make([]int32, len(g.Adj))
-	parallelForVertices(n, func(v int) {
+	parallel.ForVertices(n, func(v int) {
 		nv := perm[v]
 		dst := adj[offsets[nv]:offsets[nv+1]]
 		for i, w := range g.Neighbors(int32(v)) {
@@ -231,37 +258,4 @@ func SubgraphFromEdges(n int, us, vs []int32) *Graph {
 		b.AddEdge(us[i], vs[i])
 	}
 	return b.Build()
-}
-
-// parallelForVertices runs fn(v) for v in [0, n) across worker
-// goroutines in contiguous chunks.
-func parallelForVertices(n int, fn func(v int)) {
-	const minChunk = 2048
-	workers := workerCount(n, minChunk)
-	if workers <= 1 {
-		for v := 0; v < n; v++ {
-			fn(v)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				fn(v)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

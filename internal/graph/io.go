@@ -5,9 +5,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+
+	"chordal/internal/parallel"
 )
 
 // This file implements three on-disk formats:
@@ -17,15 +22,25 @@ import (
 //     generated graphs ("CHRD" magic, version 1).
 //   - Matrix Market coordinate format (pattern/symmetric), the exchange
 //     format most sparse-graph collections use, with 1-based ids.
+//
+// The two text readers stream the input in large line-aligned chunks
+// that are parsed in parallel into per-worker edge buffers, so parsing
+// keeps pace with the parallel CSR construction instead of bottlenecking
+// the ingestion pipeline on one growing slice.
 
 // WriteEdgeList writes g as a text edge list with a header comment.
 func WriteEdgeList(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	fmt.Fprintf(bw, "# chordal edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 	var err error
+	buf := make([]byte, 0, 32)
 	g.Edges(func(u, v int32) {
 		if err == nil {
-			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+			buf = strconv.AppendInt(buf[:0], int64(u), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, '\n')
+			_, err = bw.Write(buf)
 		}
 	})
 	if err != nil {
@@ -34,50 +49,217 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses a text edge list. Vertex count is inferred as
-// max id + 1 unless a larger n is given (pass 0 to infer).
-func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
-	var us, vs []int32
-	maxID := int32(-1)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || text[0] == '#' || text[0] == '%' {
+// textChunk is one line-aligned block of input handed to a parse worker.
+type textChunk struct {
+	data []byte
+	line int // 1-based line number of the first line in data
+}
+
+// chunkSize is the streaming block size for text parsing.
+const chunkSize = 1 << 20
+
+// lineError is a parse failure tagged with its line number so the
+// earliest failure can be reported regardless of which worker hit it.
+type lineError struct {
+	line int
+	err  error
+}
+
+// streamChunks reads r in line-aligned blocks and sends them to ch,
+// tracking line numbers. stop aborts the producer early.
+func streamChunks(r io.Reader, firstLine int, ch chan<- textChunk, stop *atomic.Bool) error {
+	defer close(ch)
+	line := firstLine
+	var tail []byte
+	for {
+		if stop.Load() {
+			return nil
+		}
+		// Grow past chunkSize when a single line exceeds it.
+		buf := make([]byte, len(tail)+chunkSize)
+		k := copy(buf, tail)
+		nr, err := io.ReadFull(r, buf[k:])
+		total := k + nr
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if total > 0 {
+				ch <- textChunk{data: buf[:total], line: line}
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		// Cut at the last newline; the remainder seeds the next block.
+		cut := total
+		for cut > 0 && buf[cut-1] != '\n' {
+			cut--
+		}
+		if cut == 0 {
+			// No newline in the whole block: keep growing the tail.
+			tail = buf[:total]
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: edge list line %d: need two fields, got %q", line, text)
+		ch <- textChunk{data: buf[:cut], line: line}
+		for _, c := range buf[:cut] {
+			if c == '\n' {
+				line++
+			}
 		}
-		u, err := strconv.ParseInt(fields[0], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
-		}
-		v, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
-		}
-		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: edge list line %d: negative vertex id", line)
-		}
-		us = append(us, int32(u))
-		vs = append(vs, int32(v))
-		if int32(u) > maxID {
-			maxID = int32(u)
-		}
-		if int32(v) > maxID {
-			maxID = int32(v)
+		tail = append([]byte(nil), buf[cut:total]...)
+	}
+}
+
+// parseChunks runs the streaming producer and a pool of parse workers.
+// parse is called concurrently with distinct worker ids; the earliest
+// line error wins.
+func parseChunks(r io.Reader, firstLine, workers int, parse func(worker int, c textChunk) *lineError) error {
+	ch := make(chan textChunk, workers)
+	var stop atomic.Bool
+	errs := make([]*lineError, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Every received chunk is parsed even after an error is
+			// flagged: a worker may still hold a chunk earlier in the
+			// stream than the one that failed, and skipping it would
+			// lose the true earliest error. stop only halts the
+			// producer, which bounds the waste to the buffered chunks.
+			for c := range ch {
+				if e := parse(worker, c); e != nil && errs[worker] == nil {
+					errs[worker] = e
+					stop.Store(true)
+				}
+			}
+		}(w)
+	}
+	readErr := streamChunks(r, firstLine, ch, &stop)
+	wg.Wait()
+	var first *lineError
+	for _, e := range errs {
+		if e != nil && (first == nil || e.line < first.line) {
+			first = e
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if first != nil {
+		return first.err
+	}
+	return readErr
+}
+
+// parseID parses a decimal vertex id from b starting at i, returning
+// the value and the index after the last digit consumed.
+func parseID(b []byte, i int) (int64, int, bool) {
+	neg := false
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		neg = b[i] == '-'
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		v = v*10 + int64(b[i]-'0')
+		if v > math.MaxInt32 {
+			return 0, i, false
+		}
+		i++
+	}
+	if i == start {
+		return 0, i, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, true
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' }
+
+// parseEdgeLines scans the lines of one chunk for endpoint pairs,
+// skipping blanks and '#'/'%' comments. base is subtracted from each id
+// (1 for Matrix Market); ids must land in [0, maxVertex) when
+// maxVertex > 0. Fields beyond the first two are ignored (Matrix
+// Market entries carry numeric values; weighted edge lists likewise).
+func parseEdgeLines(c textChunk, base int64, maxVertex int, emit func(u, v int32)) *lineError {
+	data := c.data
+	line := c.line
+	for i := 0; i < len(data); line++ {
+		end := i
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		ln := data[i:end]
+		i = end + 1
+		// Trim and classify.
+		s := 0
+		for s < len(ln) && isSpace(ln[s]) {
+			s++
+		}
+		if s == len(ln) || ln[s] == '#' || ln[s] == '%' {
+			continue
+		}
+		u, p, ok := parseID(ln, s)
+		if !ok || (p < len(ln) && !isSpace(ln[p])) {
+			return &lineError{line, fmt.Errorf("graph: line %d: bad vertex id in %q", line, string(ln))}
+		}
+		for p < len(ln) && isSpace(ln[p]) {
+			p++
+		}
+		if p == len(ln) {
+			return &lineError{line, fmt.Errorf("graph: line %d: need two fields, got %q", line, string(ln))}
+		}
+		v, p2, ok := parseID(ln, p)
+		if !ok || (p2 < len(ln) && !isSpace(ln[p2])) {
+			return &lineError{line, fmt.Errorf("graph: line %d: bad vertex id in %q", line, string(ln))}
+		}
+		u -= base
+		v -= base
+		if u < 0 || v < 0 {
+			return &lineError{line, fmt.Errorf("graph: line %d: vertex id below %d", line, base)}
+		}
+		if maxVertex > 0 && (u >= int64(maxVertex) || v >= int64(maxVertex)) {
+			return &lineError{line, fmt.Errorf("graph: line %d: entry (%d,%d) out of range", line, u+base, v+base)}
+		}
+		emit(int32(u), int32(v))
+	}
+	return nil
+}
+
+// ReadEdgeList parses a text edge list with streaming chunked parallel
+// parsing. Vertex count is inferred as max id + 1 unless a larger n is
+// given (pass 0 to infer).
+func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
+	workers := parallel.WorkerCount(0)
+	bufs := parallel.NewEdgeBuffers(workers)
+	maxIDs := parallel.NewPadded[int32](workers)
+	for w := range maxIDs {
+		maxIDs[w].V = -1
+	}
+	err := parseChunks(r, 1, workers, func(worker int, c textChunk) *lineError {
+		return parseEdgeLines(c, 0, 0, func(u, v int32) {
+			bufs.Add(worker, u, v)
+			if u > maxIDs[worker].V {
+				maxIDs[worker].V = u
+			}
+			if v > maxIDs[worker].V {
+				maxIDs[worker].V = v
+			}
+		})
+	})
+	if err != nil {
 		return nil, err
+	}
+	maxID := int32(-1)
+	for w := range maxIDs {
+		if maxIDs[w].V > maxID {
+			maxID = maxIDs[w].V
+		}
 	}
 	if int(maxID)+1 > n {
 		n = int(maxID) + 1
 	}
+	us, vs := bufs.Concat()
 	return BuildFromEdges(n, us, vs), nil
 }
 
@@ -111,7 +293,10 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph written by WriteBinary.
+// ReadBinary reads a graph written by WriteBinary. The array payloads
+// are read as raw bytes and decoded in parallel, bypassing the
+// reflection-based encoding/binary slice path — this is the fast path
+// LoadFile takes for .bin files.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
@@ -139,17 +324,32 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, binary.LittleEndian, &sorted); err != nil {
 		return nil, err
 	}
+	if n > 1<<33 || adjLen > 1<<40 {
+		return nil, fmt.Errorf("graph: implausible header (V=%d, adj=%d)", n, adjLen)
+	}
 	g := &Graph{
 		Offsets: make([]int64, n+1),
 		Adj:     make([]int32, adjLen),
 		Sorted:  sorted == 1,
 	}
-	if err := binary.Read(br, binary.LittleEndian, &g.Offsets); err != nil {
+	raw := make([]byte, 8*(n+1))
+	if _, err := io.ReadFull(br, raw); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &g.Adj); err != nil {
+	parallel.ForChunks(int(n+1), parallel.WorkersFor(int(n+1), 1<<16), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.Offsets[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+	})
+	raw = make([]byte, 4*adjLen)
+	if _, err := io.ReadFull(br, raw); err != nil {
 		return nil, err
 	}
+	parallel.ForChunks(int(adjLen), parallel.WorkersFor(int(adjLen), 1<<16), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.Adj[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+	})
 	return g, nil
 }
 
@@ -159,10 +359,15 @@ func WriteMatrixMarket(w io.Writer, g *Graph) error {
 	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern symmetric")
 	fmt.Fprintf(bw, "%d %d %d\n", g.NumVertices(), g.NumVertices(), g.NumEdges())
 	var err error
+	buf := make([]byte, 0, 32)
 	g.Edges(func(u, v int32) {
 		if err == nil {
 			// Matrix Market stores the lower triangle: row >= col.
-			_, err = fmt.Fprintf(bw, "%d %d\n", v+1, u+1)
+			buf = strconv.AppendInt(buf[:0], int64(v)+1, 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(u)+1, 10)
+			buf = append(buf, '\n')
+			_, err = bw.Write(buf)
 		}
 	})
 	if err != nil {
@@ -173,24 +378,30 @@ func WriteMatrixMarket(w io.Writer, g *Graph) error {
 
 // ReadMatrixMarket reads a coordinate-format Matrix Market graph,
 // treating entries as undirected edges regardless of symmetry mode and
-// ignoring any numeric values.
+// ignoring any numeric values. The header is read serially; the entry
+// body streams through the chunked parallel parser.
 func ReadMatrixMarket(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := br.ReadString('\n')
+	if err != nil && header == "" {
 		return nil, fmt.Errorf("graph: empty Matrix Market input")
 	}
-	header := sc.Text()
 	if !strings.HasPrefix(header, "%%MatrixMarket") {
 		return nil, fmt.Errorf("graph: missing MatrixMarket banner")
 	}
 	if !strings.Contains(header, "coordinate") {
 		return nil, fmt.Errorf("graph: only coordinate format is supported")
 	}
-	// Skip comments, read size line.
-	var n, m int
-	for sc.Scan() {
-		text := strings.TrimSpace(sc.Text())
+	// Skip comments, read the size line.
+	line := 1
+	var n int
+	for {
+		text, err := br.ReadString('\n')
+		if text == "" && err != nil {
+			return nil, fmt.Errorf("graph: missing size line")
+		}
+		line++
+		text = strings.TrimSpace(text)
 		if text == "" || strings.HasPrefix(text, "%") {
 			continue
 		}
@@ -210,40 +421,22 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: matrix is %dx%d, need square", rows, cols)
 		}
 		n = rows
-		m, err = strconv.Atoi(fields[2])
-		if err != nil {
+		if _, err := strconv.Atoi(fields[2]); err != nil {
 			return nil, err
 		}
 		break
 	}
-	us := make([]int32, 0, m)
-	vs := make([]int32, 0, m)
-	for sc.Scan() {
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "%") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: bad entry line %q", text)
-		}
-		u, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, err
-		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, err
-		}
-		if u < 1 || v < 1 || u > n || v > n {
-			return nil, fmt.Errorf("graph: entry (%d,%d) out of range 1..%d", u, v, n)
-		}
-		us = append(us, int32(u-1))
-		vs = append(vs, int32(v-1))
-	}
-	if err := sc.Err(); err != nil {
+	workers := parallel.WorkerCount(0)
+	bufs := parallel.NewEdgeBuffers(workers)
+	err = parseChunks(br, line+1, workers, func(worker int, c textChunk) *lineError {
+		return parseEdgeLines(c, 1, n, func(u, v int32) {
+			bufs.Add(worker, u, v)
+		})
+	})
+	if err != nil {
 		return nil, err
 	}
+	us, vs := bufs.Concat()
 	return BuildFromEdges(n, us, vs), nil
 }
 

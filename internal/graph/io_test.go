@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -162,4 +163,81 @@ func TestLoadFileMissing(t *testing.T) {
 		t.Fatal("bad directory accepted")
 	}
 	_ = os.ErrNotExist
+}
+
+// TestEdgeListStreamingLargeInput pushes the reader across many chunk
+// boundaries (the input is several MB) and checks the parallel parse
+// reconstructs exactly the written graph.
+func TestEdgeListStreamingLargeInput(t *testing.T) {
+	const n = 2000
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for k := 1; k <= 40; k++ {
+			w := (v + k*37) % n
+			if v != w {
+				b.AddEdge(int32(v), int32(w))
+			}
+		}
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the body a few times so the stream spans multiple chunks
+	// and contains heavy duplication.
+	body := buf.Bytes()
+	var big bytes.Buffer
+	for i := 0; i < 3; i++ {
+		big.Write(body)
+	}
+	t.Logf("streaming input: %d bytes", big.Len())
+	back, err := ReadEdgeList(&big, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, back)
+}
+
+// TestEdgeListErrorReportsEarliestLine checks that with parallel chunk
+// parsing the reported failure is still the first bad line.
+func TestEdgeListErrorReportsEarliestLine(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 100000; i++ {
+		fmt.Fprintf(&buf, "%d %d\n", i%50, (i+1)%50)
+	}
+	buf.WriteString("oops here\n")
+	for i := 0; i < 100000; i++ {
+		fmt.Fprintf(&buf, "bad line too\n")
+	}
+	_, err := ReadEdgeList(&buf, 0)
+	if err == nil {
+		t.Fatal("bad input accepted")
+	}
+	if !strings.Contains(err.Error(), "line 100001") {
+		t.Fatalf("error %q does not name the first bad line 100001", err)
+	}
+}
+
+// TestEdgeListNoTrailingNewline exercises the final partial chunk.
+func TestEdgeListNoTrailingNewline(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("E=%d, want 2", g.NumEdges())
+	}
+}
+
+// TestEdgeListExtraFields: weighted edge lists parse, extra fields are
+// ignored (seed-compatible behavior).
+func TestEdgeListExtraFields(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 0.75\n1 2 0.9\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("E=%d, want 2", g.NumEdges())
+	}
 }

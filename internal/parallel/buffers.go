@@ -1,0 +1,70 @@
+package parallel
+
+// EdgeBuffers collects (u, v) endpoint pairs into per-worker slices so
+// parallel generators and parsers can emit edges without locks, then
+// gathers them into the flat endpoint slices BuildFromEdges consumes.
+// Each worker must append only through its own index.
+type EdgeBuffers struct {
+	us, vs [][]int32
+}
+
+// NewEdgeBuffers returns buffers for the given number of worker slots
+// (at least 1).
+func NewEdgeBuffers(workers int) *EdgeBuffers {
+	if workers < 1 {
+		workers = 1
+	}
+	return &EdgeBuffers{us: make([][]int32, workers), vs: make([][]int32, workers)}
+}
+
+// Workers returns the number of per-worker slots.
+func (b *EdgeBuffers) Workers() int { return len(b.us) }
+
+// Grow pre-allocates capacity for n additional edges in worker's buffer.
+func (b *EdgeBuffers) Grow(worker, n int) {
+	if cap(b.us[worker])-len(b.us[worker]) < n {
+		us := make([]int32, len(b.us[worker]), len(b.us[worker])+n)
+		copy(us, b.us[worker])
+		b.us[worker] = us
+		vs := make([]int32, len(b.vs[worker]), len(b.vs[worker])+n)
+		copy(vs, b.vs[worker])
+		b.vs[worker] = vs
+	}
+}
+
+// Add appends the edge (u, v) to worker's buffer.
+func (b *EdgeBuffers) Add(worker int, u, v int32) {
+	b.us[worker] = append(b.us[worker], u)
+	b.vs[worker] = append(b.vs[worker], v)
+}
+
+// Len returns the total number of buffered edges across all workers.
+func (b *EdgeBuffers) Len() int {
+	total := 0
+	for _, s := range b.us {
+		total += len(s)
+	}
+	return total
+}
+
+// Concat gathers the per-worker buffers into single endpoint slices in
+// worker order. The copy itself runs with one goroutine per non-empty
+// buffer. The buffers remain valid afterwards.
+func (b *EdgeBuffers) Concat() (us, vs []int32) {
+	total := b.Len()
+	us = make([]int32, total)
+	vs = make([]int32, total)
+	offsets := make([]int, len(b.us))
+	off := 0
+	for w, s := range b.us {
+		offsets[w] = off
+		off += len(s)
+	}
+	ForChunks(len(b.us), len(b.us), func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			copy(us[offsets[w]:], b.us[w])
+			copy(vs[offsets[w]:], b.vs[w])
+		}
+	})
+	return us, vs
+}

@@ -1,0 +1,18 @@
+package parallel
+
+// Padded wraps per-worker state with trailing padding so adjacent
+// elements of a []Padded[T] land on distinct cache lines, eliminating
+// false sharing between workers that update their own element on every
+// iteration (lifted from the extraction kernel's worker counters).
+type Padded[T any] struct {
+	V T
+	_ [64]byte
+}
+
+// NewPadded returns a slice of padded per-worker values.
+func NewPadded[T any](workers int) []Padded[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	return make([]Padded[T], workers)
+}

@@ -1,0 +1,155 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		for _, n := range []int{0, 1, 7, 100, 4096} {
+			hits := make([]int32, n)
+			For(n, workers, 16, func(_, i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	var bad atomic.Int32
+	For(1000, workers, 8, func(worker, _ int) {
+		if worker < 0 || worker >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d iterations saw an out-of-range worker id", bad.Load())
+	}
+}
+
+func TestForSingleWorkerIsOrdered(t *testing.T) {
+	var got []int
+	For(100, 1, 7, func(_, i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("single-worker For out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, 1000} {
+			hits := make([]int32, n)
+			ForChunks(n, workers, func(_, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForVertices(t *testing.T) {
+	const n = 5000
+	hits := make([]int32, n)
+	ForVertices(n, func(v int) { atomic.AddInt32(&hits[v], 1) })
+	for v, h := range hits {
+		if h != 1 {
+			t.Fatalf("vertex %d hit %d times", v, h)
+		}
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 1000, 1 << 17} {
+		x := make([]int64, n)
+		want := make([]int64, n)
+		var sum int64
+		for i := range x {
+			x[i] = int64(i%7) - 2
+			sum += x[i]
+			want[i] = sum
+		}
+		total := PrefixSum(x)
+		if total != sum {
+			t.Fatalf("n=%d: total %d, want %d", n, total, sum)
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	deg := []int64{3, 0, 2, 5}
+	off := Offsets(deg)
+	want := []int64{0, 3, 3, 5, 10}
+	if len(off) != len(want) {
+		t.Fatalf("offsets length %d, want %d", len(off), len(want))
+	}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, off[i], want[i])
+		}
+	}
+	if deg[0] != 3 || deg[3] != 5 {
+		t.Fatal("Offsets modified its input")
+	}
+}
+
+func TestEdgeBuffers(t *testing.T) {
+	b := NewEdgeBuffers(3)
+	For(300, 3, 10, func(worker, i int) {
+		b.Add(worker, int32(i), int32(i+1))
+	})
+	if b.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", b.Len())
+	}
+	us, vs := b.Concat()
+	if len(us) != 300 || len(vs) != 300 {
+		t.Fatalf("Concat lengths %d/%d, want 300", len(us), len(vs))
+	}
+	seen := make(map[int32]bool)
+	for i := range us {
+		if vs[i] != us[i]+1 {
+			t.Fatalf("pair %d: (%d,%d) not matched", i, us[i], vs[i])
+		}
+		if seen[us[i]] {
+			t.Fatalf("duplicate u %d", us[i])
+		}
+		seen[us[i]] = true
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if WorkerCount(5) != 5 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if WorkerCount(0) < 1 || WorkerCount(-3) < 1 {
+		t.Fatal("resolved worker count must be positive")
+	}
+	if WorkersFor(0, 100) != 1 {
+		t.Fatal("WorkersFor must return at least 1")
+	}
+	if w := WorkersFor(150, 100); w > 2 {
+		t.Fatalf("WorkersFor(150,100) = %d, want <= 2", w)
+	}
+}

@@ -1,0 +1,53 @@
+package parallel
+
+// PrefixSum replaces x with its inclusive prefix sum in place and
+// returns the total. Large inputs are scanned in parallel with the
+// classic three-phase scheme: per-chunk sums, a serial scan of the
+// chunk totals, then a per-chunk rescan with the chunk's base offset.
+// It is the offset-construction primitive behind every CSR build.
+func PrefixSum(x []int64) int64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	const minChunk = 1 << 15
+	workers := WorkersFor(n, minChunk)
+	if workers == 1 {
+		var sum int64
+		for i := range x {
+			sum += x[i]
+			x[i] = sum
+		}
+		return sum
+	}
+	sums := make([]int64, workers)
+	ForChunks(n, workers, func(w, lo, hi int) {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += x[i]
+		}
+		sums[w] = sum
+	})
+	var total int64
+	for w := range sums {
+		total, sums[w] = total+sums[w], total
+	}
+	ForChunks(n, workers, func(w, lo, hi int) {
+		sum := sums[w]
+		for i := lo; i < hi; i++ {
+			sum += x[i]
+			x[i] = sum
+		}
+	})
+	return total
+}
+
+// Offsets builds a CSR offset array from per-item counts: the returned
+// slice has len(deg)+1 entries with Offsets[0] = 0 and
+// Offsets[i+1]-Offsets[i] = deg[i]. The counts slice is not modified.
+func Offsets(deg []int64) []int64 {
+	out := make([]int64, len(deg)+1)
+	copy(out[1:], deg)
+	PrefixSum(out[1:])
+	return out
+}

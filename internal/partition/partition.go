@@ -16,11 +16,11 @@ package partition
 
 import (
 	"sort"
-	"sync"
 	"time"
 
 	"chordal/internal/dearing"
 	"chordal/internal/graph"
+	"chordal/internal/parallel"
 	"chordal/internal/verify"
 )
 
@@ -72,34 +72,28 @@ func Extract(g *graph.Graph, parts int) *Result {
 	// Contiguous range partition: vertex v belongs to part v*parts/n.
 	partOf := func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
 
-	// Interior extraction, one goroutine per part.
+	// Interior extraction, one task per part on the shared runtime.
 	type interior struct{ edges []dearing.Edge }
 	interiors := make([]interior, parts)
-	var wg sync.WaitGroup
-	for p := 0; p < parts; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			lo := int32(int64(p) * int64(n) / int64(parts))
-			hi := int32(int64(p+1) * int64(n) / int64(parts))
-			ids := make([]int32, 0, hi-lo)
-			for v := lo; v < hi; v++ {
-				ids = append(ids, v)
+	parallel.For(parts, 0, 1, func(_, p int) {
+		lo := int32(int64(p) * int64(n) / int64(parts))
+		hi := int32(int64(p+1) * int64(n) / int64(parts))
+		ids := make([]int32, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			ids = append(ids, v)
+		}
+		sub, orig := g.InducedSubgraph(ids)
+		r := dearing.Extract(sub, 0)
+		edges := make([]dearing.Edge, len(r.Edges))
+		for i, e := range r.Edges {
+			u, v := orig[e.U], orig[e.V]
+			if u > v {
+				u, v = v, u
 			}
-			sub, orig := g.InducedSubgraph(ids)
-			r := dearing.Extract(sub, 0)
-			edges := make([]dearing.Edge, len(r.Edges))
-			for i, e := range r.Edges {
-				u, v := orig[e.U], orig[e.V]
-				if u > v {
-					u, v = v, u
-				}
-				edges[i] = dearing.Edge{U: u, V: v}
-			}
-			interiors[p] = interior{edges: edges}
-		}(p)
-	}
-	wg.Wait()
+			edges[i] = dearing.Edge{U: u, V: v}
+		}
+		interiors[p] = interior{edges: edges}
+	})
 
 	edgeKey := func(u, v int32) int64 { return int64(u)<<32 | int64(v) }
 	chordalSet := make(map[int64]bool)

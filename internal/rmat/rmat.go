@@ -20,9 +20,9 @@ package rmat
 
 import (
 	"fmt"
-	"sync"
 
 	"chordal/internal/graph"
+	"chordal/internal/parallel"
 	"chordal/internal/xrand"
 )
 
@@ -121,10 +121,7 @@ func Generate(p Params) (*graph.Graph, error) {
 	n := 1 << p.Scale
 	m := int64(n) * int64(p.EdgeFactor)
 
-	workers := p.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
+	workers := parallel.WorkerCount(p.Workers)
 	if int64(workers) > m {
 		workers = int(m)
 	}
@@ -132,38 +129,26 @@ func Generate(p Params) (*graph.Graph, error) {
 		workers = 1
 	}
 
+	// Disjoint PRNG streams per worker keep generation deterministic in
+	// (Seed, Workers); the per-worker edge buffers of the shared runtime
+	// collect the streams lock-free and gather them in worker order.
 	streams := xrand.Streams(p.Seed, workers)
-	type part struct{ us, vs []int32 }
-	parts := make([]part, workers)
+	bufs := parallel.NewEdgeBuffers(workers)
 	per := m / int64(workers)
 	extra := m % int64(workers)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	parallel.For(workers, workers, 1, func(_, w int) {
 		count := per
 		if int64(w) < extra {
 			count++
 		}
-		wg.Add(1)
-		go func(w int, count int64) {
-			defer wg.Done()
-			rng := streams[w]
-			us := make([]int32, count)
-			vs := make([]int32, count)
-			for i := int64(0); i < count; i++ {
-				us[i], vs[i] = sampleEdge(rng, p)
-			}
-			parts[w] = part{us, vs}
-		}(w, count)
-	}
-	wg.Wait()
-
-	us := make([]int32, 0, m)
-	vs := make([]int32, 0, m)
-	for _, pt := range parts {
-		us = append(us, pt.us...)
-		vs = append(vs, pt.vs...)
-	}
+		rng := streams[w]
+		bufs.Grow(w, int(count))
+		for i := int64(0); i < count; i++ {
+			u, v := sampleEdge(rng, p)
+			bufs.Add(w, u, v)
+		}
+	})
+	us, vs := bufs.Concat()
 	return graph.BuildFromEdges(n, us, vs), nil
 }
 
@@ -194,10 +179,4 @@ func sampleEdge(rng *xrand.Xoshiro256, p Params) (int32, int32) {
 		}
 	}
 	return u, v
-}
-
-func defaultWorkers() int {
-	// Delegated to a helper so tests can exercise worker-count logic via
-	// Params.Workers without touching GOMAXPROCS.
-	return gomaxprocs()
 }

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"chordal/internal/graph"
+	"chordal/internal/parallel"
 	"chordal/internal/xrand"
 )
 
@@ -107,9 +108,14 @@ func RandomGeometric(n int, radius float64, seed uint64) *graph.Graph {
 		c := cellOf(i)
 		grid[c] = append(grid[c], int32(i))
 	}
-	var us, vs []int32
+	// The grid is read-only from here on, so the O(n)-cell neighbor scan
+	// parallelizes over points into per-worker edge buffers; the final
+	// graph is schedule-independent because the CSR build canonicalizes
+	// edge order.
+	workers := parallel.WorkersFor(n, 1024)
+	bufs := parallel.NewEdgeBuffers(workers)
 	r2 := radius * radius
-	for i := 0; i < n; i++ {
+	parallel.For(n, workers, 256, func(worker, i int) {
 		c := cellOf(i)
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
@@ -120,13 +126,13 @@ func RandomGeometric(n int, radius float64, seed uint64) *graph.Graph {
 					ddx := xs[i] - xs[j]
 					ddy := ys[i] - ys[j]
 					if ddx*ddx+ddy*ddy <= r2 {
-						us = append(us, int32(i))
-						vs = append(vs, j)
+						bufs.Add(worker, int32(i), j)
 					}
 				}
 			}
 		}
-	}
+	})
+	us, vs := bufs.Concat()
 	return graph.BuildFromEdges(n, us, vs)
 }
 

@@ -1,71 +1,15 @@
-// Package worklist provides the parallel iteration substrate for the
-// extraction algorithm: a dynamically scheduled parallel-for and a
-// dual-frontier queue (the paper's Q1/Q2) with per-worker insertion
-// buffers and epoch-based membership deduplication.
+// Package worklist provides the frontier substrate for the extraction
+// algorithm: a dual-frontier queue (the paper's Q1/Q2) with per-worker
+// insertion buffers and epoch-based membership deduplication.
 //
-// The Cray XMT implementation the paper describes relies on the
-// hardware's dynamic scheduling of loop iterations over thread streams;
-// ParallelFor reproduces that with an atomic block counter so workers
-// steal fixed-size blocks, which keeps skewed-degree frontiers balanced.
+// The dynamically scheduled parallel-for that drives iteration over a
+// frontier lives in the shared chordal/internal/parallel runtime
+// (parallel.For).
 package worklist
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"chordal/internal/bitset"
 )
-
-// ParallelFor executes fn(worker, i) for every i in [0, n), distributing
-// blocks of grain consecutive indices to workers dynamically. It blocks
-// until all iterations complete. workers <= 0 selects GOMAXPROCS. The
-// worker argument lets callers index per-worker scratch state without
-// locking.
-func ParallelFor(n, workers, grain int, fn func(worker, i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if grain < 1 {
-		grain = 1
-	}
-	blocks := (n + grain - 1) / grain
-	if workers > blocks {
-		workers = blocks
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				b := next.Add(1) - 1
-				if b >= int64(blocks) {
-					return
-				}
-				lo := int(b) * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(worker, i)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-}
 
 // Frontier is the dual-queue (Q1/Q2) of Algorithm 1. The current
 // frontier is read-only during an iteration while workers push next-

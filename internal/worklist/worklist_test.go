@@ -3,60 +3,8 @@ package worklist
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"testing"
 )
-
-func TestParallelForCoversAll(t *testing.T) {
-	for _, n := range []int{0, 1, 63, 64, 1000, 100000} {
-		for _, workers := range []int{0, 1, 2, 7, 16} {
-			hits := make([]int32, n)
-			ParallelFor(n, workers, 16, func(_, i int) {
-				atomic.AddInt32(&hits[i], 1)
-			})
-			for i, h := range hits {
-				if h != 1 {
-					t.Fatalf("n=%d workers=%d: index %d hit %d times", n, workers, i, h)
-				}
-			}
-		}
-	}
-}
-
-func TestParallelForWorkerIndexInRange(t *testing.T) {
-	const n = 10000
-	var bad atomic.Int32
-	ParallelFor(n, 4, 8, func(worker, _ int) {
-		if worker < 0 || worker >= 4 {
-			bad.Add(1)
-		}
-	})
-	if bad.Load() != 0 {
-		t.Fatalf("%d out-of-range worker indices", bad.Load())
-	}
-}
-
-func TestParallelForSingleWorkerOrdered(t *testing.T) {
-	// With one worker the loop must be strictly sequential in order.
-	var got []int
-	ParallelFor(100, 1, 7, func(_, i int) { got = append(got, i) })
-	for i, v := range got {
-		if i != v {
-			t.Fatalf("single-worker order broken at %d: %d", i, v)
-		}
-	}
-}
-
-func TestParallelForGrainClamped(t *testing.T) {
-	// grain < 1 must not hang or skip.
-	hits := make([]int32, 50)
-	ParallelFor(50, 3, 0, func(_, i int) { atomic.AddInt32(&hits[i], 1) })
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d hit %d times", i, h)
-		}
-	}
-}
 
 func TestFrontierSeedDedup(t *testing.T) {
 	f := NewFrontier(10, 2)

@@ -1,0 +1,422 @@
+package chordal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"chordal/internal/analysis"
+	"chordal/internal/biogen"
+	"chordal/internal/core"
+	"chordal/internal/dearing"
+	"chordal/internal/graph"
+	"chordal/internal/partition"
+	"chordal/internal/rmat"
+	"chordal/internal/synth"
+	"chordal/internal/verify"
+)
+
+// This file implements the end-to-end ingestion-to-output pipeline:
+//
+//	acquire (load file / generate) → relabel → extract → verify → write
+//
+// Every stage is parallel under the shared internal/parallel runtime,
+// so the full flow — not just the extraction kernel — scales with
+// cores. The CLI tools (cmd/chordal, cmd/graphgen, cmd/graphstats,
+// cmd/benchrunner) are thin flag layers over Pipeline and Source.
+
+// Source describes where a pipeline input graph comes from: a file
+// path, or a generator spec of the form "family:arg:arg...". Use
+// ParseSource to build one from a string.
+type Source struct {
+	spec string
+	load func() (*Graph, error)
+}
+
+// String returns the spec the source was parsed from.
+func (s Source) String() string { return s.spec }
+
+// Load acquires the graph (reading or generating it).
+func (s Source) Load() (*Graph, error) {
+	if s.load == nil {
+		return nil, fmt.Errorf("chordal: empty source")
+	}
+	return s.load()
+}
+
+// SourceSpecs documents the generator spec grammar understood by
+// ParseSource, one spec per line.
+const SourceSpecs = `rmat-er:scale[:seed[:edgefactor]]   R-MAT, uniform quadrants
+rmat-g:scale[:seed[:edgefactor]]    R-MAT, skewed (communities)
+rmat-b:scale[:seed[:edgefactor]]    R-MAT, heavily skewed
+gse5140-crt[:downscale[:seed]]      bio suite (also -unt, gse17072-ctl, -non)
+gnm:n:m[:seed]                      uniform random G(n,m)
+ws:n:k:beta[:seed]                  Watts-Strogatz small world
+geo:n:radius[:seed]                 random geometric
+ktree:n:k[:seed]                    k-tree (chordal ground truth)
+<path>                              graph file (.bin/.mtx/edge list)`
+
+// ParseSource parses a file path or generator spec. Any spec whose
+// first colon-separated field is not a known generator family is
+// treated as a file path.
+func ParseSource(spec string) (Source, error) {
+	fields := strings.Split(spec, ":")
+	head := strings.ToLower(fields[0])
+	args := fields[1:]
+
+	intArg := func(i int, name string, def int64) (int64, error) {
+		if i >= len(args) || args[i] == "" {
+			return def, nil
+		}
+		v, err := strconv.ParseInt(args[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("chordal: source %q: bad %s %q", spec, name, args[i])
+		}
+		return v, nil
+	}
+	floatArg := func(i int, name string) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("chordal: source %q: missing %s", spec, name)
+		}
+		v, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("chordal: source %q: bad %s %q", spec, name, args[i])
+		}
+		return v, nil
+	}
+
+	switch head {
+	case "rmat-er", "rmat-g", "rmat-b":
+		preset := map[string]RMATPreset{"rmat-er": RMATER, "rmat-g": RMATG, "rmat-b": RMATB}[head]
+		scale, err := intArg(0, "scale", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		if scale < 0 {
+			return Source{}, fmt.Errorf("chordal: source %q: missing scale", spec)
+		}
+		seed, err := intArg(1, "seed", 42)
+		if err != nil {
+			return Source{}, err
+		}
+		edgeFactor, err := intArg(2, "edgefactor", 8)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{spec, func() (*Graph, error) {
+			p := rmat.PresetParams(preset, int(scale), uint64(seed))
+			p.EdgeFactor = int(edgeFactor)
+			return rmat.Generate(p)
+		}}, nil
+
+	case "gse5140-crt", "gse5140-unt", "gse17072-ctl", "gse17072-non":
+		dataset := map[string]BioDataset{
+			"gse5140-crt": GSE5140CRT, "gse5140-unt": GSE5140UNT,
+			"gse17072-ctl": GSE17072CTL, "gse17072-non": GSE17072NON,
+		}[head]
+		downscale, err := intArg(0, "downscale", 8)
+		if err != nil {
+			return Source{}, err
+		}
+		seed, err := intArg(1, "seed", 42)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{spec, func() (*Graph, error) {
+			return biogen.Generate(biogen.PresetParams(dataset, int(downscale), uint64(seed)))
+		}}, nil
+
+	case "gnm":
+		n, err := intArg(0, "n", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		m, err := intArg(1, "m", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		if n < 0 || m < 0 {
+			return Source{}, fmt.Errorf("chordal: source %q: need gnm:n:m", spec)
+		}
+		seed, err := intArg(2, "seed", 42)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{spec, func() (*Graph, error) {
+			return synth.GNM(int(n), m, uint64(seed)), nil
+		}}, nil
+
+	case "ws":
+		n, err := intArg(0, "n", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		k, err := intArg(1, "k", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		if n < 0 || k < 0 {
+			return Source{}, fmt.Errorf("chordal: source %q: need ws:n:k:beta", spec)
+		}
+		beta, err := floatArg(2, "beta")
+		if err != nil {
+			return Source{}, err
+		}
+		seed, err := intArg(3, "seed", 42)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{spec, func() (*Graph, error) {
+			return synth.WattsStrogatz(int(n), int(k), beta, uint64(seed)), nil
+		}}, nil
+
+	case "geo":
+		n, err := intArg(0, "n", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		if n < 0 {
+			return Source{}, fmt.Errorf("chordal: source %q: need geo:n:radius", spec)
+		}
+		radius, err := floatArg(1, "radius")
+		if err != nil {
+			return Source{}, err
+		}
+		seed, err := intArg(2, "seed", 42)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{spec, func() (*Graph, error) {
+			return synth.RandomGeometric(int(n), radius, uint64(seed)), nil
+		}}, nil
+
+	case "ktree":
+		n, err := intArg(0, "n", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		k, err := intArg(1, "k", -1)
+		if err != nil {
+			return Source{}, err
+		}
+		if n < 0 || k < 0 {
+			return Source{}, fmt.Errorf("chordal: source %q: need ktree:n:k", spec)
+		}
+		seed, err := intArg(2, "seed", 42)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{spec, func() (*Graph, error) {
+			return synth.KTree(int(n), int(k), uint64(seed)), nil
+		}}, nil
+	}
+	// Anything else is a file path.
+	return Source{spec, func() (*Graph, error) { return graph.LoadFile(spec) }}, nil
+}
+
+// ParseVariant parses the CLI names of the extraction variants:
+// auto|opt|unopt.
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(s) {
+	case "auto", "":
+		return VariantAuto, nil
+	case "opt":
+		return VariantOptimized, nil
+	case "unopt":
+		return VariantUnoptimized, nil
+	}
+	return VariantAuto, fmt.Errorf("chordal: unknown variant %q (want auto|opt|unopt)", s)
+}
+
+// ParseSchedule parses the CLI names of the test schedules:
+// dataflow|async|sync.
+func ParseSchedule(s string) (Schedule, error) {
+	switch strings.ToLower(s) {
+	case "dataflow", "":
+		return ScheduleDataflow, nil
+	case "async":
+		return ScheduleAsync, nil
+	case "sync":
+		return ScheduleSynchronous, nil
+	}
+	return ScheduleDataflow, fmt.Errorf("chordal: unknown schedule %q (want dataflow|async|sync)", s)
+}
+
+// RelabelMode selects the optional vertex renumbering stage.
+type RelabelMode int
+
+const (
+	// RelabelNone keeps the input numbering.
+	RelabelNone RelabelMode = iota
+	// RelabelBFS renumbers in breadth-first order from vertex 0 (the
+	// paper's connectivity remark below Theorem 2).
+	RelabelBFS
+	// RelabelDegree gives the highest-degree vertices the smallest ids
+	// (the DESIGN.md §5 maximality heuristic).
+	RelabelDegree
+)
+
+// Pipeline is the end-to-end flow: acquire → relabel → extract →
+// verify → write. Zero-value fields disable their stage; only Source
+// is required. All stages run on the shared parallel runtime.
+type Pipeline struct {
+	// Source is the input file path or generator spec (see ParseSource).
+	Source string
+	// Relabel renumbers vertices before extraction.
+	Relabel RelabelMode
+	// Extract runs the paper's multithreaded extraction with Options.
+	Extract bool
+	// Options configures the parallel extraction.
+	Options Options
+	// Serial replaces the parallel extraction with the Dearing-Shier-
+	// Warner serial baseline.
+	Serial bool
+	// Partitions > 0 replaces the parallel extraction with the
+	// distributed-style partitioned baseline (plus cycle cleanup).
+	Partitions int
+	// Verify checks the extracted subgraph for chordality and, on
+	// small inputs, audits maximality.
+	Verify bool
+	// Output writes the final graph (the subgraph when an extraction
+	// stage ran, otherwise the input) to this path.
+	Output string
+}
+
+// PartitionSummary reports the partitioned-baseline stage.
+type PartitionSummary struct {
+	Parts          int
+	InteriorEdges  int
+	BorderAdmitted int
+	CleanupRemoved int
+	CleanupRounds  int
+}
+
+// StageTiming is the wall-clock duration of one pipeline stage.
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// PipelineResult carries the outputs of every stage that ran.
+type PipelineResult struct {
+	// Input is the acquired (and possibly relabeled) graph.
+	Input *Graph
+	// InputStats are the Table-I statistics of Input.
+	InputStats Stats
+	// Subgraph is the extracted chordal subgraph, nil when no
+	// extraction stage ran.
+	Subgraph *Graph
+	// Extraction is the parallel extraction result (nil for the serial
+	// and partitioned baselines).
+	Extraction *Result
+	// SerialDuration is the serial baseline's runtime, when used.
+	SerialDuration time.Duration
+	// Partition summarizes the partitioned baseline, when used.
+	Partition *PartitionSummary
+	// Verified reports whether the verify stage ran; ChordalOK whether
+	// the subgraph passed the chordality check.
+	Verified  bool
+	ChordalOK bool
+	// MaximalityAudited reports whether the bounded maximality audit
+	// ran (it is skipped on large inputs); ReAddableEdges is the number
+	// of audit violations found (0 means maximal as far as audited).
+	MaximalityAudited bool
+	ReAddableEdges    int
+	// Timings records per-stage wall-clock durations in stage order.
+	Timings []StageTiming
+}
+
+// maxAuditEdges bounds the input size for the maximality audit, whose
+// cost grows with the number of absent edges.
+const maxAuditEdges = 200000
+
+// Run executes the pipeline.
+func (p Pipeline) Run() (*PipelineResult, error) {
+	res := &PipelineResult{}
+	mark := func(stage string, start time.Time) {
+		res.Timings = append(res.Timings, StageTiming{stage, time.Since(start)})
+	}
+
+	src, err := ParseSource(p.Source)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g, err := src.Load()
+	if err != nil {
+		return nil, err
+	}
+	mark("acquire", start)
+
+	if p.Relabel != RelabelNone {
+		start = time.Now()
+		switch p.Relabel {
+		case RelabelBFS:
+			g = g.Relabel(analysis.BFSOrder(g, 0))
+		case RelabelDegree:
+			g = g.Relabel(analysis.DegreeOrder(g))
+		default:
+			return nil, fmt.Errorf("chordal: unknown relabel mode %d", p.Relabel)
+		}
+		mark("relabel", start)
+	}
+	res.Input = g
+	res.InputStats = ComputeStats(g)
+
+	extracting := p.Extract || p.Serial || p.Partitions > 0
+	if extracting {
+		start = time.Now()
+		switch {
+		case p.Serial:
+			r := dearing.Extract(g, 0)
+			res.SerialDuration = r.Total
+			res.Subgraph = r.ToGraph(g.NumVertices())
+		case p.Partitions > 0:
+			r, rep := partition.ExtractAndClean(g, p.Partitions)
+			res.Partition = &PartitionSummary{
+				Parts:          r.Parts,
+				InteriorEdges:  r.InteriorEdges,
+				BorderAdmitted: r.BorderAdmitted,
+				CleanupRemoved: rep.Removed,
+				CleanupRounds:  rep.Rounds,
+			}
+			res.Subgraph = r.ToGraph(g.NumVertices())
+		default:
+			r, err := core.Extract(g, p.Options)
+			if err != nil {
+				return nil, err
+			}
+			res.Extraction = r
+			res.Subgraph = r.ToGraph()
+		}
+		mark("extract", start)
+	}
+
+	if p.Verify {
+		if res.Subgraph == nil {
+			return nil, fmt.Errorf("chordal: pipeline verify requires an extraction stage")
+		}
+		start = time.Now()
+		res.Verified = true
+		res.ChordalOK = verify.IsChordal(res.Subgraph)
+		if res.ChordalOK && g.NumEdges() <= maxAuditEdges {
+			res.MaximalityAudited = true
+			res.ReAddableEdges = len(verify.AuditMaximality(g, res.Subgraph, 10))
+		}
+		mark("verify", start)
+	}
+
+	if p.Output != "" {
+		start = time.Now()
+		out := res.Subgraph
+		if out == nil {
+			out = res.Input
+		}
+		if err := graph.SaveFile(p.Output, out); err != nil {
+			return nil, err
+		}
+		mark("write", start)
+	}
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package chordal_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"chordal"
+)
+
+func TestParseSourceGenerators(t *testing.T) {
+	cases := []struct {
+		spec     string
+		vertices int
+	}{
+		{"rmat-er:8", 256},
+		{"rmat-g:8:7", 256},
+		{"rmat-b:8:7:4", 256},
+		{"gnm:100:200:3", 100},
+		{"ws:64:3:0.1:5", 64},
+		{"geo:200:0.1:9", 200},
+		{"ktree:50:3:2", 50},
+		{"gse5140-unt:64:5", 45020 / 64},
+	}
+	for _, c := range cases {
+		src, err := chordal.ParseSource(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		g, err := src.Load()
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.NumVertices() != c.vertices {
+			t.Fatalf("%s: V=%d, want %d", c.spec, g.NumVertices(), c.vertices)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+	}
+}
+
+func TestParseSourceErrors(t *testing.T) {
+	for _, spec := range []string{"rmat-er", "rmat-er:x", "gnm:100", "ws:64:3", "geo:200", "ktree:50", "rmat-g:8:badseed"} {
+		src, err := chordal.ParseSource(spec)
+		if err == nil {
+			// Some errors only surface at load time for specs parsed as
+			// file paths; those must fail there instead.
+			if _, err := src.Load(); err == nil {
+				t.Fatalf("spec %q accepted", spec)
+			}
+		}
+	}
+}
+
+func TestParseSourceFilePath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	g, err := chordal.GenerateRMAT(chordal.RMATG, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chordal.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	src, err := chordal.ParseSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("reloaded E=%d, want %d", back.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sub.bin")
+	res, err := chordal.Pipeline{
+		Source:  "rmat-g:9:5",
+		Relabel: chordal.RelabelBFS,
+		Extract: true,
+		Options: chordal.Options{RepairMaximality: true},
+		Verify:  true,
+		Output:  out,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Input == nil || res.Subgraph == nil || res.Extraction == nil {
+		t.Fatal("missing pipeline outputs")
+	}
+	if !res.Verified || !res.ChordalOK {
+		t.Fatal("verification did not pass")
+	}
+	if !res.MaximalityAudited || res.ReAddableEdges != 0 {
+		t.Fatalf("repair + audit left %d re-addable edges", res.ReAddableEdges)
+	}
+	if len(res.Timings) != 5 {
+		t.Fatalf("expected 5 stage timings, got %v", res.Timings)
+	}
+	// The written artifact round-trips.
+	back, err := chordal.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != res.Subgraph.NumEdges() {
+		t.Fatalf("written subgraph E=%d, want %d", back.NumEdges(), res.Subgraph.NumEdges())
+	}
+	// BFS relabeling of a connected input keeps the extraction connected
+	// only per component; at minimum the subgraph spans the vertex set.
+	if back.NumVertices() != res.Input.NumVertices() {
+		t.Fatalf("vertex count changed: %d vs %d", back.NumVertices(), res.Input.NumVertices())
+	}
+}
+
+func TestPipelineBaselines(t *testing.T) {
+	serial, err := chordal.Pipeline{Source: "rmat-er:8:3", Serial: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Subgraph == nil || serial.Extraction != nil {
+		t.Fatal("serial baseline should produce a subgraph without an Extraction result")
+	}
+	if !chordal.IsChordal(serial.Subgraph) {
+		t.Fatal("serial baseline output not chordal")
+	}
+
+	parts, err := chordal.Pipeline{Source: "rmat-er:8:3", Partitions: 4, Verify: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.Partition == nil || parts.Partition.Parts != 4 {
+		t.Fatalf("partition summary %+v", parts.Partition)
+	}
+	if !parts.ChordalOK {
+		t.Fatal("partitioned baseline output not chordal")
+	}
+}
+
+func TestPipelineVerifyRequiresExtraction(t *testing.T) {
+	if _, err := (chordal.Pipeline{Source: "rmat-er:8", Verify: true}).Run(); err == nil {
+		t.Fatal("verify without extraction accepted")
+	}
+}
+
+func TestPipelineLoadOnly(t *testing.T) {
+	res, err := chordal.Pipeline{Source: "ktree:40:3:1"}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraph != nil {
+		t.Fatal("no extraction requested but subgraph present")
+	}
+	if res.InputStats.Vertices != 40 {
+		t.Fatalf("stats %+v", res.InputStats)
+	}
+}
