@@ -25,6 +25,8 @@
 package chordal
 
 import (
+	"context"
+
 	"chordal/internal/analysis"
 	"chordal/internal/biogen"
 	"chordal/internal/chordalalg"
@@ -116,6 +118,13 @@ func BuildFromEdges(n int, us, vs []int32) *Graph {
 // g with the given options.
 func Extract(g *Graph, opts Options) (*Result, error) {
 	return core.Extract(g, opts)
+}
+
+// ExtractContext is Extract under a cancellable context: cancellation
+// is observed at iteration boundaries and returns ctx.Err() with no
+// leaked worker goroutines.
+func ExtractContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	return core.ExtractContext(ctx, g, opts)
 }
 
 // ExtractSerial runs the serial baseline of Dearing, Shier and Warner

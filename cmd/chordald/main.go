@@ -1,0 +1,90 @@
+// Command chordald is the extraction service: a long-running HTTP
+// server that accepts graph uploads or generator Source specs, runs
+// chordal.Pipeline jobs with bounded concurrency over a shared worker
+// budget, caches generated inputs and completed extractions by
+// canonical spec, and streams per-iteration progress as server-sent
+// events.
+//
+// Usage:
+//
+//	chordald -addr :8080 -jobs 2 -workers 0
+//
+// Endpoints (see internal/service and README.md for the full API):
+//
+//	POST /v1/jobs                submit (JSON {source, options} or multipart upload)
+//	GET  /v1/jobs/{id}           status + metrics
+//	GET  /v1/jobs/{id}/events    SSE progress stream
+//	GET  /v1/jobs/{id}/result    chordal subgraph (?format=edges|bin|mtx)
+//	GET  /healthz                liveness + occupancy
+//
+// SIGINT/SIGTERM shut the server down gracefully: listeners close,
+// in-flight jobs are canceled at their next iteration boundary, and
+// their worker goroutines drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chordal/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		jobs        = flag.Int("jobs", 2, "maximum concurrently running jobs")
+		workers     = flag.Int("workers", 0, "worker tokens shared across jobs (0 = all CPUs)")
+		inputCache  = flag.Int("input-cache", 16, "generated-input LRU entries (negative disables)")
+		resultCache = flag.Int("result-cache", 64, "completed-extraction LRU entries (negative disables)")
+		maxUpload   = flag.Int64("max-upload", 256<<20, "maximum multipart upload bytes")
+		allowPaths  = flag.Bool("allow-paths", false, "permit server-side file paths as job sources (trusted deployments only)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxConcurrent:      *jobs,
+		Workers:            *workers,
+		InputCacheEntries:  *inputCache,
+		ResultCacheEntries: *resultCache,
+		MaxUploadBytes:     *maxUpload,
+		AllowPathSources:   *allowPaths,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Println("chordald: shutting down")
+		// Cancel jobs first: SSE handlers stream until their job
+		// reaches a terminal state, so draining jobs is what lets
+		// Shutdown's handler wait finish.
+		svc.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("chordald: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("chordald: serving on %s (max %d concurrent jobs)", *addr, *jobs)
+	err := httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		svc.Close()
+		fmt.Fprintln(os.Stderr, "chordald:", err)
+		os.Exit(1)
+	}
+	// ErrServerClosed means the signal goroutine is mid-shutdown: wait
+	// for it to finish draining jobs and in-flight responses.
+	<-shutdownDone
+}

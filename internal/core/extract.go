@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -50,8 +51,18 @@ type state struct {
 }
 
 // Extract runs Algorithm 1 on g and returns the maximal chordal edge set
-// together with per-iteration instrumentation.
+// together with per-iteration instrumentation. It is ExtractContext with
+// a background context.
 func Extract(g *graph.Graph, opts Options) (*Result, error) {
+	return ExtractContext(context.Background(), g, opts)
+}
+
+// ExtractContext runs Algorithm 1 on g under ctx. Cancellation is
+// observed at iteration boundaries (and before the repair and stitch
+// post-passes): when ctx is done, all worker goroutines of the current
+// iteration drain and ctx.Err() is returned, so a canceled job never
+// leaks workers.
+func ExtractContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
@@ -99,6 +110,9 @@ func Extract(g *graph.Graph, opts Options) (*Result, error) {
 
 	// The while loop of Algorithm 1 (lines 11-24).
 	for st.frontier.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st.iter++
 		if opts.Schedule == ScheduleSynchronous {
 			copy(st.snapLen, st.csetLen)
@@ -121,6 +135,9 @@ func Extract(g *graph.Graph, opts Options) (*Result, error) {
 			ScanWork:      after.scan - before.scan,
 			Duration:      time.Since(iterStart),
 		})
+		if opts.OnIteration != nil {
+			opts.OnIteration(res.Iterations[len(res.Iterations)-1])
+		}
 		st.frontier.Advance()
 	}
 
@@ -135,6 +152,9 @@ func Extract(g *graph.Graph, opts Options) (*Result, error) {
 	res.sortEdges()
 	res.Total = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.RepairMaximality {
 		repairMaximality(g, res)
 	}

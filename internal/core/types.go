@@ -143,6 +143,12 @@ type Options struct {
 	// concurrently unless Workers == 1. Intended for demonstrations and
 	// tests; it slows extraction.
 	OnEvent func(iteration int, parent, child int32, accepted bool)
+	// OnIteration, when non-nil, receives each iteration's statistics as
+	// the iteration's barrier completes. It is called from the
+	// extraction goroutine (never concurrently with itself), so it is
+	// the cheap hook for progress reporting — the service layer streams
+	// these as server-sent events.
+	OnIteration func(IterationStats)
 }
 
 // Edge is an undirected chordal edge; by construction U < V and U was

@@ -1,0 +1,73 @@
+package parallel
+
+import "sync"
+
+// Budget is a shared pool of worker tokens that divides the machine's
+// effective parallelism among concurrent jobs. Each job leases as many
+// tokens as are free (up to its request) before running and releases
+// them when done, so N simultaneous extraction kernels share the cores
+// instead of each spawning a full-width worker set and oversubscribing
+// the machine GOMAXPROCS-fold. The service layer leases from one
+// process-wide Budget per extraction job, requesting each job's fair
+// share of the pool by default.
+//
+// Lease never grants zero: when the pool is empty it blocks until a
+// token frees up, which bounds admitted concurrency to the pool size
+// without starving any job.
+type Budget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total int
+	avail int
+}
+
+// NewBudget creates a Budget with the given number of worker tokens;
+// total <= 0 selects the effective parallelism (GOMAXPROCS clamped to
+// the physical CPU count).
+func NewBudget(total int) *Budget {
+	if total <= 0 {
+		total = maxParallelism()
+	}
+	b := &Budget{total: total, avail: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Total returns the pool size.
+func (b *Budget) Total() int { return b.total }
+
+// Lease takes up to want tokens from the pool and returns the number
+// granted, always at least 1: if the pool is empty it blocks until a
+// token is released. want <= 0 requests the full pool. The caller must
+// Release exactly the granted count when its work completes.
+func (b *Budget) Lease(want int) int {
+	if want <= 0 || want > b.total {
+		want = b.total
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.avail == 0 {
+		b.cond.Wait()
+	}
+	granted := want
+	if granted > b.avail {
+		granted = b.avail
+	}
+	b.avail -= granted
+	return granted
+}
+
+// Release returns n previously leased tokens to the pool and wakes
+// blocked leases.
+func (b *Budget) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.avail += n
+	if b.avail > b.total {
+		panic("parallel: Budget.Release of tokens never leased")
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

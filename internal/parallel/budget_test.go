@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBudgetLeaseBounds(t *testing.T) {
+	b := NewBudget(4)
+	if b.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", b.Total())
+	}
+	if got := b.Lease(3); got != 3 {
+		t.Fatalf("Lease(3) = %d, want 3", got)
+	}
+	// Only one token left; an oversized request is trimmed, not blocked.
+	if got := b.Lease(8); got != 1 {
+		t.Fatalf("Lease(8) with 1 free = %d, want 1", got)
+	}
+	b.Release(4)
+	// want <= 0 asks for the whole pool.
+	if got := b.Lease(0); got != 4 {
+		t.Fatalf("Lease(0) = %d, want 4", got)
+	}
+	b.Release(4)
+}
+
+func TestBudgetNeverOversubscribes(t *testing.T) {
+	const total, jobs = 3, 32
+	b := NewBudget(total)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := b.Lease(2)
+			if got < 1 || got > 2 {
+				t.Errorf("Lease(2) = %d, want 1..2", got)
+			}
+			cur := inUse.Add(int64(got))
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			inUse.Add(-int64(got))
+			b.Release(got)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > total {
+		t.Fatalf("peak leased tokens %d exceeds pool of %d", p, total)
+	}
+	if got := b.Lease(0); got != total {
+		t.Fatalf("pool drained: final Lease(0) = %d, want %d", got, total)
+	}
+}

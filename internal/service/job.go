@@ -1,0 +1,271 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"chordal"
+	"chordal/internal/graph"
+)
+
+// Job states, in lifecycle order. A job moves queued → running → done
+// or failed; cache hits are born done.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// StageMillis is one pipeline stage's wall-clock duration in the
+// status metrics.
+type StageMillis struct {
+	// Stage is the pipeline stage name (acquire, relabel, extract,
+	// verify).
+	Stage string `json:"stage"`
+	// Millis is the stage's wall-clock duration in milliseconds.
+	Millis float64 `json:"millis"`
+}
+
+// Metrics summarizes a completed extraction for GET /v1/jobs/{id}.
+type Metrics struct {
+	// Vertices and InputEdges describe the acquired input graph.
+	Vertices   int   `json:"vertices"`
+	InputEdges int64 `json:"inputEdges"`
+	// ChordalEdges is |EC|, the extracted chordal edge count;
+	// EdgesKeptPct is its share of the input edges.
+	ChordalEdges int     `json:"chordalEdges"`
+	EdgesKeptPct float64 `json:"edgesKeptPct"`
+	// Iterations is the extract loop's iteration count.
+	Iterations int `json:"iterations"`
+	// Variant and Schedule are the code path and test-ordering
+	// discipline actually used.
+	Variant  string `json:"variant"`
+	Schedule string `json:"schedule"`
+	// Workers is the parallelism granted by the shared worker budget.
+	Workers int `json:"workers"`
+	// Chordal reports the verify stage's chordality check; nil when
+	// verification was disabled.
+	Chordal *bool `json:"chordal,omitempty"`
+	// MaximalityAudited reports whether the bounded maximality audit
+	// ran; ReAddableEdges is the number of violations it found.
+	MaximalityAudited bool `json:"maximalityAudited"`
+	ReAddableEdges    int  `json:"reAddableEdges"`
+	// RepairedEdges and StitchedEdges count post-pass additions.
+	RepairedEdges int `json:"repairedEdges"`
+	StitchedEdges int `json:"stitchedEdges"`
+	// Stages holds per-stage wall-clock timings; TotalMillis is their
+	// sum.
+	Stages      []StageMillis `json:"stages"`
+	TotalMillis float64       `json:"totalMillis"`
+}
+
+// JobStatus is the JSON view of a job returned by POST /v1/jobs and
+// GET /v1/jobs/{id}, and carried by the terminal "done" SSE event.
+type JobStatus struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// State is one of queued, running, done, failed.
+	State string `json:"state"`
+	// Source is the canonical input spec the job runs (uploads appear
+	// as upload:<hash>).
+	Source string `json:"source"`
+	// Cached reports that the job was served from the result cache
+	// without running the pipeline.
+	Cached bool `json:"cached,omitempty"`
+	// Created, Started and Finished are lifecycle timestamps; Started
+	// and Finished are omitted until reached.
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Error is the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Metrics summarizes the extraction once the job is done.
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+// sseEvent is one pre-marshaled server-sent event in a job's log.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// Job is one submitted extraction: lifecycle state, the append-only
+// event log that SSE subscribers replay and follow, and the result.
+// All fields behind mu; events are pre-marshaled so subscribers only
+// copy bytes.
+type Job struct {
+	id     string
+	spec   jobSpec
+	cached bool
+
+	created time.Time
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	finished time.Time
+	err      error
+	metrics  *Metrics
+	subgraph *graph.Graph
+	events   []sseEvent
+	changed  chan struct{} // closed and replaced on every append
+}
+
+// newJob creates a queued job for spec.
+func newJob(id string, spec jobSpec, now time.Time) *Job {
+	j := &Job{
+		id:      id,
+		spec:    spec,
+		created: now,
+		state:   StateQueued,
+		changed: make(chan struct{}),
+	}
+	j.appendEvent("state", map[string]string{"state": StateQueued})
+	return j
+}
+
+// ID returns the server-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// appendLocked appends a marshaled event to the log and wakes
+// subscribers. Callers hold j.mu.
+func (j *Job) appendLocked(name string, data any) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		payload = []byte(`{}`)
+	}
+	j.events = append(j.events, sseEvent{name, payload})
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendEvent marshals data and appends it to the event log, waking
+// subscribers. Callers must not hold j.mu.
+func (j *Job) appendEvent(name string, data any) {
+	j.mu.Lock()
+	j.appendLocked(name, data)
+	j.mu.Unlock()
+}
+
+// eventsSince returns the events after cursor, whether the job is
+// terminal, and a channel closed on the next append — the subscription
+// primitive behind the SSE handler.
+func (j *Job) eventsSince(cursor int) (evs []sseEvent, terminal bool, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor < len(j.events) {
+		evs = j.events[cursor:]
+	}
+	return evs, j.state == StateDone || j.state == StateFailed, j.changed
+}
+
+// setRunning transitions the job to running. The state change and its
+// event land in one critical section so subscribers never observe one
+// without the other.
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.appendLocked("state", map[string]string{"state": StateRunning})
+	j.mu.Unlock()
+}
+
+// complete finishes the job with its metrics and extracted subgraph,
+// appending the terminal "done" event atomically with the state change
+// (a subscriber that sees the terminal state is guaranteed the event is
+// already in the log).
+func (j *Job) complete(now time.Time, m *Metrics, sub *graph.Graph) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.finished = now
+	j.metrics = m
+	j.subgraph = sub
+	j.appendLocked("done", j.statusLocked())
+	j.mu.Unlock()
+}
+
+// fail finishes the job with an error; event ordering as in complete.
+func (j *Job) fail(now time.Time, err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.finished = now
+	j.err = err
+	j.appendLocked("done", j.statusLocked())
+	j.mu.Unlock()
+}
+
+// Status snapshots the job as its JSON view.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked builds the JSON view; callers hold j.mu.
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:      j.id,
+		State:   j.state,
+		Source:  j.spec.source,
+		Cached:  j.cached,
+		Created: j.created,
+		Metrics: j.metrics,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// result returns the extracted subgraph of a done job.
+func (j *Job) result() (*graph.Graph, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.subgraph, j.state == StateDone && j.subgraph != nil
+}
+
+// buildMetrics converts a pipeline result into the wire metrics.
+func buildMetrics(res *chordal.PipelineResult, workers int, extra []StageMillis) *Metrics {
+	m := &Metrics{
+		Vertices:   res.InputStats.Vertices,
+		InputEdges: res.InputStats.Edges,
+		Workers:    workers,
+		Stages:     extra,
+	}
+	if res.Subgraph != nil {
+		m.ChordalEdges = int(res.Subgraph.NumEdges())
+		if res.InputStats.Edges > 0 {
+			m.EdgesKeptPct = 100 * float64(m.ChordalEdges) / float64(res.InputStats.Edges)
+		}
+	}
+	if r := res.Extraction; r != nil {
+		m.Iterations = len(r.Iterations)
+		m.Variant = r.Variant.String()
+		m.Schedule = r.Schedule.String()
+		m.RepairedEdges = r.RepairedEdges
+		m.StitchedEdges = r.StitchedEdges
+	}
+	if res.Verified {
+		ok := res.ChordalOK
+		m.Chordal = &ok
+		m.MaximalityAudited = res.MaximalityAudited
+		m.ReAddableEdges = res.ReAddableEdges
+	}
+	for _, st := range res.Timings {
+		m.Stages = append(m.Stages, StageMillis{st.Stage, float64(st.Duration.Microseconds()) / 1000})
+	}
+	for _, st := range m.Stages {
+		m.TotalMillis += st.Millis
+	}
+	return m
+}

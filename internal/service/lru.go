@@ -1,0 +1,76 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded least-recently-used cache with a fixed
+// entry capacity. The service keeps two: generated inputs keyed by
+// canonical Source spec, and completed extractions keyed by the full
+// job key (source + option fingerprint). Entry-count capacity is a
+// deliberate simplification — graphs vary in size, but the operator
+// sizes the caches for the expected working set (the benchmark and
+// bio-suite shapes reuse a handful of specs heavily).
+type lruCache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *lruEntry[V]
+	items map[string]*list.Element
+}
+
+// lruEntry is one key/value pair in the recency list.
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// newLRU creates a cache holding at most capacity entries; capacity <=
+// 0 disables caching (every Get misses, Add is a no-op).
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache[V]) Add(key string, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry[V]).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key, val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *lruCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,40 @@
+package service
+
+import "testing"
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; want LRU evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a = %d,%t; want 1,true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Errorf("c = %d,%t; want 3,true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	c.Add("a", 10) // refresh existing key updates in place
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("a after refresh = %d, want 10", v)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU[int](-1)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer spins up the service behind an httptest listener.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// submitJSON posts a JobRequest and decodes the returned status.
+func submitJSON(t *testing.T, base string, req JobRequest) (JobStatus, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return st, resp.StatusCode
+}
+
+// followEvents streams SSE for a job until the terminal "done" event,
+// returning per-event-name counts and the final status.
+func followEvents(t *testing.T, base, id string) (map[string]int, JobStatus) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q, want text/event-stream", ct)
+	}
+	counts := map[string]int{}
+	var event string
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			counts[event]++
+			if event == "done" {
+				var st JobStatus
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+					t.Fatalf("decode done event: %v", err)
+				}
+				return counts, st
+			}
+		}
+	}
+	t.Fatalf("event stream ended without a done event (err=%v, counts=%v)", scanner.Err(), counts)
+	return nil, JobStatus{}
+}
+
+// TestServeJobEndToEnd is the acceptance flow: submit an RMAT Source
+// spec, observe per-iteration SSE progress, fetch a verified chordal
+// result, and watch an identical resubmission hit the result cache.
+func TestServeJobEndToEnd(t *testing.T) {
+	_, ts := startServer(t, Config{})
+
+	st, code := submitJSON(t, ts.URL, JobRequest{Source: "rmat-er:8:7"})
+	if code != http.StatusAccepted {
+		t.Fatalf("first submission: status %d, want %d", code, http.StatusAccepted)
+	}
+	if st.ID == "" || st.Cached {
+		t.Fatalf("first submission: %+v, want uncached job with id", st)
+	}
+
+	counts, done := followEvents(t, ts.URL, st.ID)
+	if counts["iteration"] < 1 {
+		t.Errorf("saw %d iteration SSE events, want >= 1 (all events: %v)", counts["iteration"], counts)
+	}
+	if counts["stage"] < 1 {
+		t.Errorf("saw %d stage SSE events, want >= 1", counts["stage"])
+	}
+	if done.State != StateDone {
+		t.Fatalf("terminal state %q (error %q), want %q", done.State, done.Error, StateDone)
+	}
+	m := done.Metrics
+	if m == nil {
+		t.Fatal("done status has no metrics")
+	}
+	if m.Chordal == nil || !*m.Chordal {
+		t.Errorf("result not verified chordal: %+v", m)
+	}
+	if m.ChordalEdges <= 0 || m.Iterations < 1 {
+		t.Errorf("implausible metrics: %+v", m)
+	}
+
+	// Status endpoint agrees with the terminal event.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var polled JobStatus
+	json.NewDecoder(resp.Body).Decode(&polled)
+	resp.Body.Close()
+	if polled.State != StateDone || polled.Metrics == nil {
+		t.Errorf("GET status = %+v, want done with metrics", polled)
+	}
+
+	// Result in edge-list form matches the reported edge count.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?format=edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: status %d", resp.StatusCode)
+	}
+	var header string
+	if sc := bufio.NewScanner(resp.Body); sc.Scan() {
+		header = sc.Text()
+	}
+	want := fmt.Sprintf("%d edges", m.ChordalEdges)
+	if !strings.Contains(header, want) {
+		t.Errorf("result header %q does not report %s", header, want)
+	}
+
+	// An equivalent respelled submission is a cache hit, served done.
+	st2, code2 := submitJSON(t, ts.URL, JobRequest{Source: " RMAT-ER:8:7:8 "})
+	if code2 != http.StatusOK {
+		t.Errorf("resubmission: status %d, want %d (cache hit)", code2, http.StatusOK)
+	}
+	if !st2.Cached || st2.State != StateDone {
+		t.Errorf("resubmission: %+v, want cached done job", st2)
+	}
+	if st2.Metrics == nil || st2.Metrics.ChordalEdges != m.ChordalEdges {
+		t.Errorf("cached metrics %+v, want %d chordal edges", st2.Metrics, m.ChordalEdges)
+	}
+}
+
+// TestConcurrentSubmissions hammers one spec from many goroutines with
+// the race detector on: every job must complete, and once the first
+// finishes the rest of the traffic is eventually served from cache.
+func TestConcurrentSubmissions(t *testing.T) {
+	svc, ts := startServer(t, Config{MaxConcurrent: 3})
+
+	const clients = 12
+	var wg sync.WaitGroup
+	states := make([]JobStatus, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := "gnm:2000:8000"
+			if i%3 == 0 {
+				src = "GNM:2000:8000:42" // respelled, same canonical job
+			}
+			st, _ := submitJSON(t, ts.URL, JobRequest{Source: src})
+			_, done := followEvents(t, ts.URL, st.ID)
+			states[i] = done
+		}(i)
+	}
+	wg.Wait()
+
+	edges := -1
+	for i, st := range states {
+		if st.State != StateDone {
+			t.Fatalf("client %d: state %q (error %q)", i, st.State, st.Error)
+		}
+		if edges == -1 {
+			edges = st.Metrics.ChordalEdges
+		} else if st.Metrics.ChordalEdges != edges {
+			t.Errorf("client %d: %d chordal edges, others got %d", i, st.Metrics.ChordalEdges, edges)
+		}
+	}
+
+	// The dust has settled: one more submission must be a pure hit.
+	st, code := submitJSON(t, ts.URL, JobRequest{Source: "gnm:2000:8000"})
+	if code != http.StatusOK || !st.Cached {
+		t.Errorf("post-storm submission: code %d cached %t, want cache hit", code, st.Cached)
+	}
+	if got := svc.results.Len(); got < 1 {
+		t.Errorf("result cache has %d entries, want >= 1", got)
+	}
+}
+
+// TestMultipartUpload submits graph bytes directly and checks the
+// upload is content-addressed in the cache.
+func TestMultipartUpload(t *testing.T) {
+	_, ts := startServer(t, Config{})
+
+	post := func() (JobStatus, int) {
+		var buf bytes.Buffer
+		mw := multipart.NewWriter(&buf)
+		fw, _ := mw.CreateFormFile("graph", "square.txt")
+		// A 4-cycle plus one chord: extraction keeps the triangles.
+		fmt.Fprint(fw, "0 1\n1 2\n2 3\n0 3\n0 2\n")
+		mw.WriteField("options", `{"repair": true}`)
+		mw.Close()
+		resp, err := http.Post(ts.URL+"/v1/jobs", mw.FormDataContentType(), &buf)
+		if err != nil {
+			t.Fatalf("POST multipart: %v", err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		json.NewDecoder(resp.Body).Decode(&st)
+		return st, resp.StatusCode
+	}
+
+	st, code := post()
+	if code != http.StatusAccepted {
+		t.Fatalf("upload: status %d, want %d", code, http.StatusAccepted)
+	}
+	if !strings.HasPrefix(st.Source, "upload:") {
+		t.Errorf("upload source %q, want content-addressed upload:<hash>", st.Source)
+	}
+	_, done := followEvents(t, ts.URL, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("upload job: %q (error %q)", done.State, done.Error)
+	}
+	if done.Metrics.ChordalEdges != 5 {
+		// All five edges fit: the chord triangulates the square.
+		t.Errorf("upload extraction kept %d edges, want 5", done.Metrics.ChordalEdges)
+	}
+
+	st2, code2 := post()
+	if code2 != http.StatusOK || !st2.Cached {
+		t.Errorf("re-upload: code %d cached %t, want content-addressed cache hit", code2, st2.Cached)
+	}
+}
+
+// TestJobErrorsSurface checks API error paths. Path sources are
+// enabled to exercise the load-failure path; the default gating is
+// asserted separately.
+func TestJobErrorsSurface(t *testing.T) {
+	_, ts := startServer(t, Config{AllowPathSources: true})
+
+	// Bad spec is a 400 at submission.
+	_, code := func() (JobStatus, int) {
+		body := []byte(`{"source":"rmat-er"}`)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return JobStatus{}, resp.StatusCode
+	}()
+	if code != http.StatusBadRequest {
+		t.Errorf("bad spec: status %d, want 400", code)
+	}
+
+	// Unknown job is a 404 everywhere.
+	for _, path := range []string{"/v1/jobs/jx", "/v1/jobs/jx/events", "/v1/jobs/jx/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// A job whose source fails to load fails with the error surfaced.
+	st, _ := submitJSON(t, ts.URL, JobRequest{Source: "/no/such/file.txt"})
+	_, done := followEvents(t, ts.URL, st.ID)
+	if done.State != StateFailed || done.Error == "" {
+		t.Errorf("missing-file job: %+v, want failed with error", done)
+	}
+
+	// Result of a failed job is a 409.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("failed-job result: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestPathSourcesRejectedByDefault pins the security default: a
+// network client must not be able to point jobs at server files.
+func TestPathSourcesRejectedByDefault(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	body := []byte(`{"source":"/etc/hosts"}`)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("path source: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSubmitAfterCloseRejected pins the shutdown contract: a
+// submission racing Close gets a 503, never a leaked job goroutine.
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	svc, ts := startServer(t, Config{})
+	svc.Close()
+	body := []byte(`{"source":"gnm:100:300"}`)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after Close: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHealthz checks the liveness endpoint's counters move.
+func TestHealthz(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	st, _ := submitJSON(t, ts.URL, JobRequest{Source: "gnm:500:1500"})
+	followEvents(t, ts.URL, st.ID)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h map[string]any
+		json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if h["status"] != "ok" {
+			t.Fatalf("healthz status = %v", h["status"])
+		}
+		if h["done"].(float64) >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never reported a done job: %v", h)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,584 @@
+// Package service implements the extraction service: a long-running
+// HTTP job server over chordal.Pipeline, the serving layer for
+// production-scale traffic on top of the paper's algorithm.
+//
+// # API
+//
+//	POST /v1/jobs                submit a job: JSON {source, options} or
+//	                             a multipart graph upload (field "graph",
+//	                             optional "options" JSON field)
+//	GET  /v1/jobs/{id}           status + metrics
+//	GET  /v1/jobs/{id}/events    server-sent events: state changes, stage
+//	                             starts, per-iteration extraction progress
+//	GET  /v1/jobs/{id}/result    the chordal subgraph (?format=edges|bin|mtx)
+//	GET  /healthz                liveness + job/cache counters
+//
+// # Architecture
+//
+// Submitted jobs enter a bounded-concurrency run queue (a semaphore of
+// Config.MaxConcurrent slots). Each admitted job leases worker tokens
+// from one shared parallel.Budget sized to the machine: a job with no
+// explicit request takes its fair share (total / MaxConcurrent, with
+// MaxConcurrent clamped to the budget), so the extraction kernels of
+// simultaneous default-width jobs divide the cores instead of each
+// running full width, and never serialize behind one another's leases
+// (a job requesting explicit parallelism beyond the free tokens does
+// wait for a release). The budget governs the extraction stage,
+// the dominant cost; the briefer acquire/verify stages still use the
+// shared runtime at machine width (making every stage budget-aware is
+// a ROADMAP follow-up). Jobs run the chordal.Pipeline under the
+// server's base context — shutdown cancels every in-flight extraction
+// at its next iteration boundary.
+//
+// Jobs are identified by a canonical spec: generator sources are
+// normalized (family lowercased, defaults filled) and uploads are
+// content-addressed, and the extraction options are hashed in fixed
+// field order, so equivalent submissions — different JSON key order,
+// whitespace, or spelled-out defaults — share one identity. Two LRU
+// caches exploit that identity: generated input graphs are cached by
+// canonical source (the benchmark and bio-suite shapes regenerate the
+// same specs constantly), and completed extractions are cached by the
+// full job key, so a repeated spec is served instantly with
+// Cached: true in its status.
+//
+// Every job keeps an append-only event log; the SSE endpoint replays it
+// from the start and then follows live appends, so a subscriber that
+// connects late still sees the full history through the terminal "done"
+// event.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"chordal"
+	"chordal/internal/graph"
+	"chordal/internal/parallel"
+)
+
+// Config sizes the server. The zero value is ready to use; see each
+// field for its default.
+type Config struct {
+	// MaxConcurrent bounds simultaneously running jobs; <= 0 means 2.
+	// Further submissions queue. Clamped to the worker budget —
+	// admitting more jobs than there are worker tokens could only
+	// serialize the surplus behind earlier leases.
+	MaxConcurrent int
+	// Workers is the total worker-token budget shared by all running
+	// jobs; <= 0 means the machine's effective parallelism.
+	Workers int
+	// InputCacheEntries bounds the generated-input LRU; 0 means 16,
+	// negative disables input caching.
+	InputCacheEntries int
+	// ResultCacheEntries bounds the completed-extraction LRU; 0 means
+	// 64, negative disables result caching.
+	ResultCacheEntries int
+	// MaxUploadBytes bounds one multipart graph upload; <= 0 means
+	// 256 MiB.
+	MaxUploadBytes int64
+	// AllowPathSources permits jobs whose source is a server-side file
+	// path. Off by default: on a network-facing server, path sources
+	// let any client probe server files (parse errors echo file
+	// contents and parseable graphs are downloadable via /result).
+	// Enable only for trusted single-tenant deployments.
+	AllowPathSources bool
+}
+
+// cachedResult is one completed extraction in the result LRU.
+type cachedResult struct {
+	metrics  Metrics
+	subgraph *graph.Graph
+}
+
+// Server is the extraction service. Create with New, mount as an
+// http.Handler, and Close on shutdown to cancel in-flight jobs.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	budget *parallel.Budget
+	sem    chan struct{}
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	seq    int
+
+	inputs  *lruCache[*graph.Graph]
+	results *lruCache[*cachedResult]
+}
+
+// New creates a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.InputCacheEntries == 0 {
+		cfg.InputCacheEntries = 16
+	}
+	if cfg.ResultCacheEntries == 0 {
+		cfg.ResultCacheEntries = 64
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 256 << 20
+	}
+	budget := parallel.NewBudget(cfg.Workers)
+	if cfg.MaxConcurrent > budget.Total() {
+		cfg.MaxConcurrent = budget.Total()
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		budget:  budget,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    make(map[string]*Job),
+		inputs:  newLRU[*graph.Graph](cfg.InputCacheEntries),
+		results: newLRU[*cachedResult](cfg.ResultCacheEntries),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close rejects further submissions, cancels every queued and running
+// job, and waits for their goroutines to drain. Safe to call more than
+// once.
+func (s *Server) Close() {
+	// The closed flag and submit's wg.Add share one critical section,
+	// so no Add can race the Wait below (sync.WaitGroup forbids Add
+	// concurrent with Wait on a zero counter).
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// errShuttingDown rejects submissions that race server shutdown.
+var errShuttingDown = errors.New("service: server is shutting down")
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleSubmit accepts a job: a JSON JobRequest, or a multipart form
+// with the graph bytes in field "graph" (format chosen by filename
+// extension, as in chordal.LoadGraph) and optional JobOptions JSON in
+// field "options".
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobSpec
+	var upload *graph.Graph
+
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "multipart/form-data") {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+		if err := r.ParseMultipartForm(32 << 20); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad multipart form: %w", err))
+			return
+		}
+		file, hdr, err := r.FormFile("graph")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf(`service: multipart submission needs a "graph" file field`))
+			return
+		}
+		defer file.Close()
+		var opts JobOptions
+		if o := r.FormValue("options"); o != "" {
+			if err := json.Unmarshal([]byte(o), &opts); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad options field: %w", err))
+				return
+			}
+		}
+		if spec, err = normalizeOptions(opts); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Hash by streaming over the (memory- or disk-spooled)
+		// multipart file rather than buffering a second in-heap copy,
+		// then rewind to parse — multipart form files are seekable.
+		format := uploadFormat(hdr.Filename)
+		h := sha256.New()
+		if _, err := io.Copy(h, file); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var digest [sha256.Size]byte
+		copy(digest[:], h.Sum(nil))
+		spec.source = uploadSource(format, digest)
+		// Probe the result cache before parsing: the job key needs only
+		// the format, content hash and options, so a re-upload of an
+		// already-extracted graph skips the (potentially large) parse.
+		if job, ok := s.tryCached(spec); ok {
+			w.Header().Set("Location", "/v1/jobs/"+job.ID())
+			writeJSON(w, http.StatusOK, job.Status())
+			return
+		}
+		if _, err := file.Seek(0, io.SeekStart); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		g, err := parseUpload(format, file)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		upload = g
+	} else {
+		var req JobRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+			return
+		}
+		var err error
+		if spec, err = newJobSpec(req, s.cfg.AllowPathSources); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	job, hit, err := s.submit(spec, upload)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	code := http.StatusAccepted
+	if hit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job.Status())
+}
+
+// submit registers a job for spec, serving it from the result cache
+// when possible; otherwise the job is queued on the run semaphore. The
+// returned bool reports a cache hit; the error is errShuttingDown when
+// the server is closing.
+func (s *Server) submit(spec jobSpec, upload *graph.Graph) (*Job, bool, error) {
+	if job, ok := s.tryCached(spec); ok {
+		return job, true, nil
+	}
+	job := newJob(s.nextID(), spec, time.Now())
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, errShuttingDown
+	}
+	s.jobs[job.ID()] = job
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.run(job, upload)
+	return job, false, nil
+}
+
+// nextID allocates a job identifier.
+func (s *Server) nextID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return fmt.Sprintf("j%06d", s.seq)
+}
+
+// tryCached serves spec from the result cache when possible,
+// registering a born-done job marked cached.
+func (s *Server) tryCached(spec jobSpec) (*Job, bool) {
+	if !spec.cacheable() {
+		return nil, false
+	}
+	hit, ok := s.results.Get(spec.Key())
+	if !ok {
+		return nil, false
+	}
+	now := time.Now()
+	job := newJob(s.nextID(), spec, now)
+	job.cached = true
+	// A born-done job never ran, but clients compute durations from
+	// started/finished; stamp both with the submission instant (the
+	// job is not yet published, so direct writes are safe).
+	job.started = now
+	m := hit.metrics
+	job.complete(now, &m, hit.subgraph)
+	s.register(job)
+	return job, true
+}
+
+// register adds the job to the store.
+func (s *Server) register(job *Job) {
+	s.mu.Lock()
+	s.jobs[job.ID()] = job
+	s.mu.Unlock()
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// uploadFormat resolves an uploaded filename to its decode format,
+// following the same extension rules as chordal.LoadGraph for paths.
+func uploadFormat(filename string) string {
+	switch {
+	case strings.HasSuffix(filename, ".bin"):
+		return "bin"
+	case strings.HasSuffix(filename, ".mtx"):
+		return "mtx"
+	default:
+		return "edges"
+	}
+}
+
+// parseUpload decodes an uploaded graph stream in the given format.
+func parseUpload(format string, r io.Reader) (*graph.Graph, error) {
+	switch format {
+	case "bin":
+		return graph.ReadBinary(r)
+	case "mtx":
+		return graph.ReadMatrixMarket(r)
+	default:
+		return graph.ReadEdgeList(r, 0)
+	}
+}
+
+// run executes one job: wait for a semaphore slot, lease workers from
+// the shared budget, resolve the input (upload, input cache, generator,
+// or file), run the pipeline with progress events, and publish the
+// result to the caches.
+func (s *Server) run(job *Job, upload *graph.Graph) {
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-s.baseCtx.Done():
+		job.fail(time.Now(), s.baseCtx.Err())
+		return
+	}
+
+	// A job with no explicit worker request leases its fair share of
+	// the pool (total / MaxConcurrent) — even on an otherwise idle
+	// server. Leasing more opportunistically would serialize the next
+	// arrival behind this job's entire runtime (leases cannot shrink
+	// once the kernel starts), so the policy trades some idle-server
+	// width for the guarantee that MaxConcurrent default jobs always
+	// run side by side; single-tenant callers get full width with an
+	// explicit workers request, granted up to the currently free
+	// tokens (at least one — an empty pool waits for the first
+	// release). The lease precedes the running transition so a
+	// token-starved job still reports queued.
+	want := job.spec.workers
+	if want <= 0 {
+		want = max(1, s.budget.Total()/s.cfg.MaxConcurrent)
+	}
+	granted := s.budget.Lease(want)
+	defer s.budget.Release(granted)
+	job.setRunning(time.Now())
+
+	p := job.spec.Pipeline()
+	p.Options.Workers = granted
+	p.OnStage = func(stage string) {
+		job.appendEvent("stage", map[string]string{"stage": stage})
+	}
+	p.OnIteration = func(it chordal.IterationStats) {
+		job.appendEvent("iteration", map[string]any{
+			"index":          it.Index,
+			"queueSize":      it.QueueSize,
+			"edgesTested":    it.EdgesTested,
+			"edgesAccepted":  it.EdgesAccepted,
+			"scanWork":       it.ScanWork,
+			"durationMillis": float64(it.Duration.Microseconds()) / 1000,
+		})
+	}
+
+	// Resolve the input ahead of the pipeline when it can come from the
+	// input cache (uploads were parsed at submission; generated sources
+	// are deterministic in their canonical spec). File-path sources load
+	// inside the pipeline, where the acquire stage is timed as usual.
+	var acquire []StageMillis
+	switch {
+	case upload != nil:
+		p.Input = upload
+	case job.spec.generated:
+		if g, ok := s.inputs.Get(job.spec.source); ok {
+			p.Input = g
+			job.appendEvent("stage", map[string]any{"stage": "acquire", "cached": true})
+		} else {
+			if err := s.baseCtx.Err(); err != nil {
+				job.fail(time.Now(), err)
+				return
+			}
+			src, err := chordal.ParseSource(job.spec.source)
+			if err != nil {
+				job.fail(time.Now(), err)
+				return
+			}
+			p.OnStage("acquire")
+			t0 := time.Now()
+			g, err := src.Load()
+			if err != nil {
+				job.fail(time.Now(), err)
+				return
+			}
+			acquire = append(acquire, StageMillis{"acquire", float64(time.Since(t0).Microseconds()) / 1000})
+			s.inputs.Add(job.spec.source, g)
+			p.Input = g
+		}
+	}
+
+	res, err := p.RunContext(s.baseCtx)
+	if err != nil {
+		job.fail(time.Now(), err)
+		return
+	}
+	m := buildMetrics(res, granted, acquire)
+	job.complete(time.Now(), m, res.Subgraph)
+	if job.spec.cacheable() {
+		s.results.Add(job.spec.Key(), &cachedResult{metrics: *m, subgraph: res.Subgraph})
+	}
+}
+
+// handleStatus serves GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleEvents serves GET /v1/jobs/{id}/events as a server-sent event
+// stream: the job's full event log is replayed, then followed live
+// until the terminal "done" event or client disconnect.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("service: response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	cursor := 0
+	for {
+		evs, terminal, changed := job.eventsSince(cursor)
+		for _, e := range evs {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.name, e.data)
+		}
+		cursor += len(evs)
+		flusher.Flush()
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResult serves GET /v1/jobs/{id}/result: the extracted chordal
+// subgraph as a text edge list (format=edges, the default), binary CSR
+// (format=bin), or Matrix Market (format=mtx).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	sub, done := job.result()
+	if !done {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("service: job %s is %s, result not available", job.ID(), job.Status().State))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "edges"
+	}
+	var err error
+	switch format {
+	case "edges":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.txt", job.ID()))
+		err = graph.WriteEdgeList(w, sub)
+	case "bin":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.bin", job.ID()))
+		err = graph.WriteBinary(w, sub)
+	case "mtx":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.mtx", job.ID()))
+		err = graph.WriteMatrixMarket(w, sub)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("service: unknown format %q (want edges|bin|mtx)", format))
+		return
+	}
+	if err != nil {
+		// Headers are already sent; the broken stream is the signal.
+		return
+	}
+}
+
+// handleHealthz serves GET /healthz with liveness and occupancy
+// counters.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	total := len(s.jobs)
+	counts := map[string]int{}
+	for _, j := range s.jobs {
+		counts[j.Status().State]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"jobs":          total,
+		"queued":        counts[StateQueued],
+		"running":       counts[StateRunning],
+		"done":          counts[StateDone],
+		"failed":        counts[StateFailed],
+		"workers":       s.budget.Total(),
+		"maxConcurrent": s.cfg.MaxConcurrent,
+		"inputCache":    s.inputs.Len(),
+		"resultCache":   s.results.Len(),
+	})
+}

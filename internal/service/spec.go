@@ -1,0 +1,171 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"chordal"
+)
+
+// JobRequest is the JSON body of POST /v1/jobs: where the input graph
+// comes from and how to extract. Multipart submissions carry the graph
+// bytes instead of Source and may attach the same Options object as a
+// JSON-encoded "options" form field.
+type JobRequest struct {
+	// Source is a file path or generator spec, as understood by
+	// chordal.ParseSource (see chordal.SourceSpecs for the grammar).
+	Source string `json:"source"`
+	// Options selects the extraction configuration; the zero value uses
+	// the defaults (auto variant, dataflow schedule, verify on).
+	Options JobOptions `json:"options"`
+}
+
+// JobOptions is the wire form of the extraction configuration. String
+// enums use the CLI names so the HTTP API and the chordal command read
+// identically. JSON key order and omitted-versus-defaulted fields do
+// not affect job identity: options are normalized before hashing.
+type JobOptions struct {
+	// Variant is auto|opt|unopt (default auto).
+	Variant string `json:"variant,omitempty"`
+	// Schedule is dataflow|async|sync (default dataflow).
+	Schedule string `json:"schedule,omitempty"`
+	// Relabel is none|bfs|degree (default none).
+	Relabel string `json:"relabel,omitempty"`
+	// Workers requests extraction parallelism, granted from the
+	// server's shared worker budget: the job receives up to the
+	// requested count, limited to the tokens currently free (at least
+	// one; a request against an exhausted pool waits for the first
+	// release). <= 0 requests the default fair share of the budget
+	// (total / MaxConcurrent; the server clamps MaxConcurrent to the
+	// budget), which keeps default-width jobs genuinely concurrent;
+	// request more for full width on an idle server. The metrics
+	// report the actual grant.
+	Workers int `json:"workers,omitempty"`
+	// Repair enables the maximality repair post-pass.
+	Repair bool `json:"repair,omitempty"`
+	// Stitch enables the component stitch post-pass.
+	Stitch bool `json:"stitch,omitempty"`
+	// Verify runs the chordality check (and maximality audit on small
+	// inputs) on the result; omitted means true.
+	Verify *bool `json:"verify,omitempty"`
+}
+
+// jobSpec is a fully normalized job description: the canonical input
+// identity plus resolved option enums. Equal jobSpecs produce the same
+// Key regardless of how the request spelled them.
+type jobSpec struct {
+	source    string // canonical Source spec, or "upload:<sha256>" for uploads
+	generated bool   // source is a deterministic generator spec
+	variant   chordal.Variant
+	schedule  chordal.Schedule
+	relabel   chordal.RelabelMode
+	workers   int
+	repair    bool
+	stitch    bool
+	verify    bool
+}
+
+// normalizeOptions resolves the wire options to their canonical enum
+// values, rejecting unknown names.
+func normalizeOptions(o JobOptions) (jobSpec, error) {
+	var spec jobSpec
+	var err error
+	if spec.variant, err = chordal.ParseVariant(o.Variant); err != nil {
+		return spec, err
+	}
+	if spec.schedule, err = chordal.ParseSchedule(o.Schedule); err != nil {
+		return spec, err
+	}
+	if spec.relabel, err = chordal.ParseRelabel(o.Relabel); err != nil {
+		return spec, err
+	}
+	spec.workers = o.Workers
+	if spec.workers < 0 {
+		spec.workers = 0
+	}
+	spec.repair = o.Repair
+	spec.stitch = o.Stitch
+	spec.verify = o.Verify == nil || *o.Verify
+	return spec, nil
+}
+
+// newJobSpec normalizes a Source-based request: the source is parsed
+// and canonicalized (defaults filled, whitespace trimmed), the options
+// resolved. Unless allowPaths is set, sources that are not generator
+// specs are rejected — a network-facing server must not let clients
+// name arbitrary server files (error messages and results would
+// disclose their contents); uploads are the supported way to submit
+// graph data.
+func newJobSpec(req JobRequest, allowPaths bool) (jobSpec, error) {
+	if strings.TrimSpace(req.Source) == "" {
+		return jobSpec{}, fmt.Errorf("service: job needs a source (or a multipart graph upload)")
+	}
+	src, err := chordal.ParseSource(req.Source)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	if !src.Generated() && !allowPaths {
+		return jobSpec{}, fmt.Errorf("service: file-path sources are disabled (upload the graph, or start the server with path sources allowed)")
+	}
+	spec, err := normalizeOptions(req.Options)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	spec.source = src.Canonical()
+	spec.generated = src.Generated()
+	return spec, nil
+}
+
+// uploadSource returns the canonical source identity of uploaded graph
+// bytes: the decode format plus the full SHA-256 content digest. The
+// format is part of the identity because the same bytes decode to
+// different graphs under different parsers (Matrix Market is 1-based
+// with comment banners; edge lists are 0-based); within one format,
+// re-uploading the same bytes hits the caches no matter the filename.
+// Takes the digest rather than the bytes so callers can hash a
+// streamed upload without buffering it.
+func uploadSource(format string, digest [sha256.Size]byte) string {
+	return "upload:" + format + ":" + hex.EncodeToString(digest[:])
+}
+
+// cacheable reports whether completed extractions for this spec may be
+// served from the result cache: generator specs are deterministic in
+// their canonical form and uploads are content-addressed, but a file
+// path's contents can change between loads, so path-sourced jobs are
+// always re-run.
+func (s jobSpec) cacheable() bool {
+	return s.generated || strings.HasPrefix(s.source, "upload:")
+}
+
+// Key returns the result-cache identity of the job: a hash of the
+// canonical source and every option that can change the extracted
+// subgraph. Workers is deliberately excluded — the dataflow schedule's
+// edge set is worker-count independent, and for the async schedule any
+// run's output is an equally valid representative — so a repeat of the
+// same spec at a different parallelism is still a cache hit.
+func (s jobSpec) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "src=%s;variant=%s;schedule=%s;relabel=%d;repair=%t;stitch=%t;verify=%t",
+		s.source, s.variant, s.schedule, s.relabel, s.repair, s.stitch, s.verify)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Pipeline materializes the chordal.Pipeline for this spec. The caller
+// wires Input, OnStage and OnIteration before running.
+func (s jobSpec) Pipeline() chordal.Pipeline {
+	return chordal.Pipeline{
+		Source:  s.source,
+		Relabel: s.relabel,
+		Extract: true,
+		Options: chordal.Options{
+			Variant:          s.variant,
+			Schedule:         s.schedule,
+			Workers:          s.workers,
+			RepairMaximality: s.repair,
+			StitchComponents: s.stitch,
+		},
+		Verify: s.verify,
+	}
+}

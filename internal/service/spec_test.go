@@ -1,0 +1,131 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+)
+
+func specKey(t *testing.T, req JobRequest) string {
+	t.Helper()
+	spec, err := newJobSpec(req, false)
+	if err != nil {
+		t.Fatalf("newJobSpec(%+v): %v", req, err)
+	}
+	return spec.Key()
+}
+
+func TestCanonicalKeySourceSpellings(t *testing.T) {
+	base := specKey(t, JobRequest{Source: "rmat-er:12"})
+	for _, spelled := range []string{
+		"RMAT-ER:12",       // case-insensitive family
+		"rmat-er:12:42",    // default seed spelled out
+		"rmat-er:12:42:8",  // default seed and edge factor spelled out
+		" rmat-er:12 ",     // surrounding whitespace
+		"\trmat-er:12:42\n",
+	} {
+		if got := specKey(t, JobRequest{Source: spelled}); got != base {
+			t.Errorf("source %q: key %s, want %s (same input as rmat-er:12)", spelled, got, base)
+		}
+	}
+	for _, different := range []string{
+		"rmat-er:12:7",    // different seed
+		"rmat-er:13",      // different scale
+		"rmat-g:12",       // different family
+		"rmat-er:12:42:9", // different edge factor
+	} {
+		if got := specKey(t, JobRequest{Source: different}); got == base {
+			t.Errorf("source %q: key collides with rmat-er:12", different)
+		}
+	}
+}
+
+func TestCanonicalKeyOptionSpellings(t *testing.T) {
+	// JSON key order and spelled-out defaults must not change identity.
+	bodies := []string{
+		`{"source":"gnm:1000:5000","options":{}}`,
+		`{"source":"gnm:1000:5000"}`,
+		`{"source":"gnm:1000:5000:42","options":{"variant":"auto","schedule":"dataflow"}}`,
+		`{"options":{"verify":true,"relabel":"none"},"source":"GNM:1000:5000"}`,
+		`{"options":{"workers":4},"source":"gnm:1000:5000"}`, // workers excluded from identity
+	}
+	keys := make([]string, len(bodies))
+	for i, body := range bodies {
+		var req JobRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatalf("unmarshal %s: %v", body, err)
+		}
+		keys[i] = specKey(t, req)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Errorf("body %d (%s): key %s, want %s", i, bodies[i], keys[i], keys[0])
+		}
+	}
+
+	// Options that change the output change the key.
+	off := false
+	variants := []JobRequest{
+		{Source: "gnm:1000:5000", Options: JobOptions{Repair: true}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Stitch: true}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Relabel: "bfs"}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Schedule: "sync"}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Variant: "unopt"}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Verify: &off}},
+	}
+	seen := map[string]int{keys[0]: -1}
+	for i, req := range variants {
+		k := specKey(t, req)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d: key %s", i, prev, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestCanonicalKeyRejectsBadSpecs(t *testing.T) {
+	for _, req := range []JobRequest{
+		{Source: ""},
+		{Source: "   "},
+		{Source: "rmat-er"},  // missing scale
+		{Source: "gnm:1000"}, // missing m
+		{Source: "gnm:1000:5000", Options: JobOptions{Variant: "fast"}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Schedule: "eventually"}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Relabel: "random"}},
+	} {
+		if _, err := newJobSpec(req, false); err == nil {
+			t.Errorf("newJobSpec(%+v): want error", req)
+		}
+	}
+}
+
+func TestPathSourcesGated(t *testing.T) {
+	req := JobRequest{Source: "/etc/hosts"}
+	if _, err := newJobSpec(req, false); err == nil {
+		t.Error("path source accepted with paths disabled")
+	}
+	spec, err := newJobSpec(req, true)
+	if err != nil {
+		t.Fatalf("path source rejected with paths allowed: %v", err)
+	}
+	if spec.generated || spec.cacheable() {
+		t.Errorf("path spec %+v must be non-generated and non-cacheable", spec)
+	}
+}
+
+func TestUploadSourceContentAddressed(t *testing.T) {
+	a := uploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n")))
+	b := uploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n")))
+	c := uploadSource("edges", sha256.Sum256([]byte("0 1\n1 3\n")))
+	if a != b {
+		t.Errorf("identical content hashed differently: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Errorf("distinct content collided: %s", a)
+	}
+	// The same bytes decode differently under a different parser, so
+	// the format is part of the identity.
+	if d := uploadSource("mtx", sha256.Sum256([]byte("0 1\n1 2\n"))); d == a {
+		t.Errorf("same bytes under different formats collided: %s", d)
+	}
+}

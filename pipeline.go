@@ -1,7 +1,9 @@
 package chordal
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -24,18 +26,46 @@ import (
 // Every stage is parallel under the shared internal/parallel runtime,
 // so the full flow — not just the extraction kernel — scales with
 // cores. The CLI tools (cmd/chordal, cmd/graphgen, cmd/graphstats,
-// cmd/benchrunner) are thin flag layers over Pipeline and Source.
+// cmd/benchrunner) are thin flag layers over Pipeline and Source, and
+// the HTTP service (cmd/chordald) runs Pipeline jobs with progress
+// callbacks and cancellable contexts.
+//
+// # Source spec grammar
+//
+// A Source is either a path to a graph file (.bin binary CSR, .mtx
+// Matrix Market, anything else a text edge list) or a generator spec
+// "family:arg:arg..." with colon-separated arguments; trailing
+// arguments with defaults may be omitted. The SourceSpecs constant is
+// the authoritative one-line-per-family grammar (the CLIs print it in
+// their usage text). Family names are case-insensitive; seed defaults
+// to 42, edgefactor to 8, downscale to 8. Source.Canonical returns
+// the lowercased, default-filled form that cache keys are built from.
 
 // Source describes where a pipeline input graph comes from: a file
 // path, or a generator spec of the form "family:arg:arg...". Use
 // ParseSource to build one from a string.
 type Source struct {
-	spec string
-	load func() (*Graph, error)
+	spec      string
+	canon     string
+	generated bool
+	load      func() (*Graph, error)
 }
 
 // String returns the spec the source was parsed from.
 func (s Source) String() string { return s.spec }
+
+// Canonical returns the normalized form of the spec: the generator
+// family lowercased and every optional argument filled in with its
+// default, so that two specs naming the same input ("rmat-er:14",
+// "RMAT-ER:14:42:8", " rmat-er:14 ") canonicalize identically. File
+// paths are path-cleaned. The service layer keys its caches on this.
+func (s Source) Canonical() string { return s.canon }
+
+// Generated reports whether the source is a synthetic generator spec,
+// whose Load is deterministic in the canonical spec — safe to cache by
+// Canonical — as opposed to a file path, whose contents may change
+// between loads.
+func (s Source) Generated() bool { return s.generated }
 
 // Load acquires the graph (reading or generating it).
 func (s Source) Load() (*Graph, error) {
@@ -59,8 +89,9 @@ ktree:n:k[:seed]                    k-tree (chordal ground truth)
 
 // ParseSource parses a file path or generator spec. Any spec whose
 // first colon-separated field is not a known generator family is
-// treated as a file path.
+// treated as a file path. Surrounding whitespace is ignored.
 func ParseSource(spec string) (Source, error) {
+	spec = strings.TrimSpace(spec)
 	fields := strings.Split(spec, ":")
 	head := strings.ToLower(fields[0])
 	args := fields[1:]
@@ -104,7 +135,8 @@ func ParseSource(spec string) (Source, error) {
 		if err != nil {
 			return Source{}, err
 		}
-		return Source{spec, func() (*Graph, error) {
+		canon := fmt.Sprintf("%s:%d:%d:%d", head, scale, seed, edgeFactor)
+		return Source{spec, canon, true, func() (*Graph, error) {
 			p := rmat.PresetParams(preset, int(scale), uint64(seed))
 			p.EdgeFactor = int(edgeFactor)
 			return rmat.Generate(p)
@@ -123,7 +155,8 @@ func ParseSource(spec string) (Source, error) {
 		if err != nil {
 			return Source{}, err
 		}
-		return Source{spec, func() (*Graph, error) {
+		canon := fmt.Sprintf("%s:%d:%d", head, downscale, seed)
+		return Source{spec, canon, true, func() (*Graph, error) {
 			return biogen.Generate(biogen.PresetParams(dataset, int(downscale), uint64(seed)))
 		}}, nil
 
@@ -143,7 +176,8 @@ func ParseSource(spec string) (Source, error) {
 		if err != nil {
 			return Source{}, err
 		}
-		return Source{spec, func() (*Graph, error) {
+		canon := fmt.Sprintf("gnm:%d:%d:%d", n, m, seed)
+		return Source{spec, canon, true, func() (*Graph, error) {
 			return synth.GNM(int(n), m, uint64(seed)), nil
 		}}, nil
 
@@ -167,7 +201,8 @@ func ParseSource(spec string) (Source, error) {
 		if err != nil {
 			return Source{}, err
 		}
-		return Source{spec, func() (*Graph, error) {
+		canon := fmt.Sprintf("ws:%d:%d:%s:%d", n, k, strconv.FormatFloat(beta, 'g', -1, 64), seed)
+		return Source{spec, canon, true, func() (*Graph, error) {
 			return synth.WattsStrogatz(int(n), int(k), beta, uint64(seed)), nil
 		}}, nil
 
@@ -187,7 +222,8 @@ func ParseSource(spec string) (Source, error) {
 		if err != nil {
 			return Source{}, err
 		}
-		return Source{spec, func() (*Graph, error) {
+		canon := fmt.Sprintf("geo:%d:%s:%d", n, strconv.FormatFloat(radius, 'g', -1, 64), seed)
+		return Source{spec, canon, true, func() (*Graph, error) {
 			return synth.RandomGeometric(int(n), radius, uint64(seed)), nil
 		}}, nil
 
@@ -207,12 +243,13 @@ func ParseSource(spec string) (Source, error) {
 		if err != nil {
 			return Source{}, err
 		}
-		return Source{spec, func() (*Graph, error) {
+		canon := fmt.Sprintf("ktree:%d:%d:%d", n, k, seed)
+		return Source{spec, canon, true, func() (*Graph, error) {
 			return synth.KTree(int(n), int(k), uint64(seed)), nil
 		}}, nil
 	}
 	// Anything else is a file path.
-	return Source{spec, func() (*Graph, error) { return graph.LoadFile(spec) }}, nil
+	return Source{spec, filepath.Clean(spec), false, func() (*Graph, error) { return graph.LoadFile(spec) }}, nil
 }
 
 // ParseVariant parses the CLI names of the extraction variants:
@@ -243,6 +280,20 @@ func ParseSchedule(s string) (Schedule, error) {
 	return ScheduleDataflow, fmt.Errorf("chordal: unknown schedule %q (want dataflow|async|sync)", s)
 }
 
+// ParseRelabel parses the CLI names of the relabel modes:
+// none|bfs|degree.
+func ParseRelabel(s string) (RelabelMode, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return RelabelNone, nil
+	case "bfs":
+		return RelabelBFS, nil
+	case "degree":
+		return RelabelDegree, nil
+	}
+	return RelabelNone, fmt.Errorf("chordal: unknown relabel mode %q (want none|bfs|degree)", s)
+}
+
 // RelabelMode selects the optional vertex renumbering stage.
 type RelabelMode int
 
@@ -259,10 +310,17 @@ const (
 
 // Pipeline is the end-to-end flow: acquire → relabel → extract →
 // verify → write. Zero-value fields disable their stage; only Source
-// is required. All stages run on the shared parallel runtime.
+// (or Input) is required. All stages run on the shared parallel
+// runtime. Run executes with a background context; RunContext makes
+// the whole flow cancellable.
 type Pipeline struct {
 	// Source is the input file path or generator spec (see ParseSource).
 	Source string
+	// Input, when non-nil, is used directly as the acquired graph and
+	// Source is ignored. Graphs are immutable, so a cached or shared
+	// instance can be injected safely; this is how the service layer
+	// reuses cached generated inputs across jobs.
+	Input *Graph
 	// Relabel renumbers vertices before extraction.
 	Relabel RelabelMode
 	// Extract runs the paper's multithreaded extraction with Options.
@@ -281,6 +339,15 @@ type Pipeline struct {
 	// Output writes the final graph (the subgraph when an extraction
 	// stage ran, otherwise the input) to this path.
 	Output string
+	// OnStage, when non-nil, is called as each stage begins, with one of
+	// "acquire", "relabel", "extract", "verify", "write".
+	OnStage func(stage string)
+	// OnIteration, when non-nil, receives each extraction iteration's
+	// statistics as its barrier completes — the pipeline-level mirror of
+	// Options.OnIteration (which it chains with, not replaces). Only the
+	// parallel extraction stage reports iterations; the serial and
+	// partitioned baselines do not.
+	OnIteration func(IterationStats)
 }
 
 // PartitionSummary reports the partitioned-baseline stage.
@@ -331,26 +398,55 @@ type PipelineResult struct {
 // cost grows with the number of absent edges.
 const maxAuditEdges = 200000
 
-// Run executes the pipeline.
+// Run executes the pipeline with a background context.
 func (p Pipeline) Run() (*PipelineResult, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the pipeline under ctx. Cancellation is observed
+// between stages and, during the parallel extraction stage, between
+// iterations of the extract loop; the first error returned after
+// cancellation is ctx.Err(). A canceled run leaves no goroutines
+// behind.
+func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 	res := &PipelineResult{}
 	mark := func(stage string, start time.Time) {
 		res.Timings = append(res.Timings, StageTiming{stage, time.Since(start)})
 	}
+	enter := func(stage string) time.Time {
+		if p.OnStage != nil {
+			p.OnStage(stage)
+		}
+		return time.Now()
+	}
 
-	src, err := ParseSource(p.Source)
-	if err != nil {
+	// Check before acquire: a run canceled while queued must not pay
+	// for the most expensive stage (loading or generating the input).
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	g, err := src.Load()
-	if err != nil {
+	var g *Graph
+	if p.Input != nil {
+		g = p.Input
+	} else {
+		src, err := ParseSource(p.Source)
+		if err != nil {
+			return nil, err
+		}
+		start := enter("acquire")
+		var loadErr error
+		g, loadErr = src.Load()
+		if loadErr != nil {
+			return nil, loadErr
+		}
+		mark("acquire", start)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	mark("acquire", start)
 
 	if p.Relabel != RelabelNone {
-		start = time.Now()
+		start := enter("relabel")
 		switch p.Relabel {
 		case RelabelBFS:
 			g = g.Relabel(analysis.BFSOrder(g, 0))
@@ -363,10 +459,13 @@ func (p Pipeline) Run() (*PipelineResult, error) {
 	}
 	res.Input = g
 	res.InputStats = ComputeStats(g)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	extracting := p.Extract || p.Serial || p.Partitions > 0
 	if extracting {
-		start = time.Now()
+		start := enter("extract")
 		switch {
 		case p.Serial:
 			r := dearing.Extract(g, 0)
@@ -383,7 +482,17 @@ func (p Pipeline) Run() (*PipelineResult, error) {
 			}
 			res.Subgraph = r.ToGraph(g.NumVertices())
 		default:
-			r, err := core.Extract(g, p.Options)
+			opts := p.Options
+			if p.OnIteration != nil {
+				inner := opts.OnIteration
+				opts.OnIteration = func(it IterationStats) {
+					if inner != nil {
+						inner(it)
+					}
+					p.OnIteration(it)
+				}
+			}
+			r, err := core.ExtractContext(ctx, g, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -392,12 +501,15 @@ func (p Pipeline) Run() (*PipelineResult, error) {
 		}
 		mark("extract", start)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	if p.Verify {
 		if res.Subgraph == nil {
 			return nil, fmt.Errorf("chordal: pipeline verify requires an extraction stage")
 		}
-		start = time.Now()
+		start := enter("verify")
 		res.Verified = true
 		res.ChordalOK = verify.IsChordal(res.Subgraph)
 		if res.ChordalOK && g.NumEdges() <= maxAuditEdges {
@@ -408,7 +520,10 @@ func (p Pipeline) Run() (*PipelineResult, error) {
 	}
 
 	if p.Output != "" {
-		start = time.Now()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := enter("write")
 		out := res.Subgraph
 		if out == nil {
 			out = res.Input

@@ -1,6 +1,8 @@
 package chordal_test
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -155,5 +157,131 @@ func TestPipelineLoadOnly(t *testing.T) {
 	}
 	if res.InputStats.Vertices != 40 {
 		t.Fatalf("stats %+v", res.InputStats)
+	}
+}
+
+func TestSourceCanonical(t *testing.T) {
+	cases := []struct {
+		spec, canon string
+		generated   bool
+	}{
+		{"rmat-er:14", "rmat-er:14:42:8", true},
+		{"RMAT-ER:14:42:8", "rmat-er:14:42:8", true},
+		{" rmat-er:14 ", "rmat-er:14:42:8", true},
+		{"gnm:100:200", "gnm:100:200:42", true},
+		{"ws:64:3:0.1", "ws:64:3:0.1:42", true},
+		{"geo:200:0.25:9", "geo:200:0.25:9", true},
+		{"ktree:50:3", "ktree:50:3:42", true},
+		{"gse5140-crt", "gse5140-crt:8:42", true},
+		{"some/dir//graph.bin", "some/dir/graph.bin", false},
+	}
+	for _, c := range cases {
+		src, err := chordal.ParseSource(c.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if got := src.Canonical(); got != c.canon {
+			t.Errorf("Canonical(%q) = %q, want %q", c.spec, got, c.canon)
+		}
+		if got := src.Generated(); got != c.generated {
+			t.Errorf("Generated(%q) = %t, want %t", c.spec, got, c.generated)
+		}
+	}
+}
+
+func TestParseRelabel(t *testing.T) {
+	for s, want := range map[string]chordal.RelabelMode{
+		"": chordal.RelabelNone, "none": chordal.RelabelNone,
+		"BFS": chordal.RelabelBFS, "degree": chordal.RelabelDegree,
+	} {
+		got, err := chordal.ParseRelabel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseRelabel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := chordal.ParseRelabel("shuffle"); err == nil {
+		t.Error("ParseRelabel accepted unknown mode")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// Pre-canceled context: the pipeline stops at the first boundary.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := chordal.Pipeline{Source: "rmat-er:10:7", Extract: true}.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled RunContext error = %v, want context.Canceled", err)
+	}
+
+	// Cancel from inside the extract loop: the first iteration callback
+	// pulls the plug and extraction must stop at the next boundary with
+	// ctx.Err(), not run to completion.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	iterations := 0
+	_, err = chordal.Pipeline{
+		Source:  "rmat-er:12:7",
+		Extract: true,
+		Options: chordal.Options{Schedule: chordal.ScheduleSynchronous},
+		OnIteration: func(chordal.IterationStats) {
+			iterations++
+			cancel2()
+		},
+	}.RunContext(ctx2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel error = %v, want context.Canceled", err)
+	}
+	if iterations != 1 {
+		t.Errorf("extraction ran %d iterations after cancel, want exactly 1", iterations)
+	}
+
+	// Sanity: the same pipeline uncanceled completes.
+	res, err := chordal.Pipeline{Source: "rmat-er:10:7", Extract: true, Verify: true}.Run()
+	if err != nil || !res.ChordalOK {
+		t.Fatalf("uncancelled run: res=%v err=%v", res, err)
+	}
+}
+
+func TestPipelineInputInjection(t *testing.T) {
+	g := chordal.GenerateGNM(500, 1500, 3)
+	res, err := chordal.Pipeline{Input: g, Extract: true, Verify: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Input != g {
+		t.Error("pipeline did not use the injected input graph")
+	}
+	if !res.ChordalOK {
+		t.Error("extraction on injected input not chordal")
+	}
+	for _, st := range res.Timings {
+		if st.Stage == "acquire" {
+			t.Error("acquire stage ran despite injected input")
+		}
+	}
+}
+
+func TestPipelineStageCallback(t *testing.T) {
+	var stages []string
+	out := filepath.Join(t.TempDir(), "sub.bin")
+	_, err := chordal.Pipeline{
+		Source:  "gnm:300:900:5",
+		Relabel: chordal.RelabelBFS,
+		Extract: true,
+		Verify:  true,
+		Output:  out,
+		OnStage: func(s string) { stages = append(stages, s) },
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"acquire", "relabel", "extract", "verify", "write"}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", stages, want)
+		}
 	}
 }
