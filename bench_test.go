@@ -28,6 +28,7 @@ import (
 	"chordal/internal/graph"
 	"chordal/internal/partition"
 	"chordal/internal/rmat"
+	"chordal/internal/shard"
 	"chordal/internal/synth"
 	"chordal/internal/verify"
 )
@@ -186,6 +187,39 @@ func BenchmarkPartitioned(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if r := partition.Extract(g, 8); len(r.Edges) == 0 {
 			b.Fatal("empty extraction")
+		}
+	}
+}
+
+// BenchmarkShardedExtract measures the sharded pipeline (per-shard
+// Algorithm 1 + chordality-preserving border reconciliation) against
+// BenchmarkExtract* (whole-graph kernel) and BenchmarkPartitioned (the
+// serial-kernel distributed baseline).
+func BenchmarkShardedExtract(b *testing.B) {
+	g := benchGraph(b, "G")
+	b.SetBytes(int64(g.NumEdges()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := shard.Extract(g, shard.Options{Shards: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.NumChordalEdges() == 0 || !r.Chordal {
+			b.Fatal("bad sharded extraction")
+		}
+	}
+}
+
+// BenchmarkShardedExtractStitchOnly isolates the reconciliation cost:
+// spanning stitch only, no exact border admission.
+func BenchmarkShardedExtractStitchOnly(b *testing.B) {
+	g := benchGraph(b, "G")
+	b.SetBytes(int64(g.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shard.Extract(g, shard.Options{Shards: 8, StitchOnly: true}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

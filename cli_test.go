@@ -66,6 +66,11 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("serial mode output: %s", out)
 	}
 
+	out = run("./cmd/chordal", "-in", graphPath, "-shards", "4", "-verify")
+	if !strings.Contains(out, "sharded (4 shards)") || !strings.Contains(out, "verified: output is chordal") {
+		t.Fatalf("sharded mode output: %s", out)
+	}
+
 	out = run("./cmd/benchrunner", "-exp", "pct", "-scales", "8", "-bio-downscale", "64")
 	if !strings.Contains(out, "RMAT-ER(8)") {
 		t.Fatalf("benchrunner output: %s", out)

@@ -7,6 +7,7 @@
 //
 //	chordal -in graph.bin -out sub.bin -verify
 //	chordal -in rmat-g:16:7 -variant unopt -schedule async -workers 8
+//	chordal -in rmat-g:18:7 -shards 8 -verify   # sharded extraction
 //	chordal -in graph.txt -serial          # Dearing et al. baseline
 package main
 
@@ -20,19 +21,21 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input graph path or generator spec (required)")
-		out      = flag.String("out", "", "optional output path for the chordal subgraph")
-		variant  = flag.String("variant", "auto", "auto|opt|unopt")
-		schedule = flag.String("schedule", "dataflow", "dataflow|async|sync")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-		serial   = flag.Bool("serial", false, "use the serial Dearing et al. baseline")
-		parts    = flag.Int("partition", 0, "use the distributed-style baseline with this many partitions (plus cycle cleanup)")
-		repair   = flag.Bool("repair", false, "run the maximality repair post-pass")
-		stitch   = flag.Bool("stitch", false, "stitch disconnected chordal components")
-		bfs      = flag.Bool("bfs-relabel", false, "renumber vertices in BFS order before extraction")
-		doVerify = flag.Bool("verify", false, "verify chordality (and audit maximality on small graphs)")
-		iters    = flag.Bool("iters", false, "print per-iteration queue statistics")
-		timings  = flag.Bool("timings", false, "print per-stage pipeline timings")
+		in         = flag.String("in", "", "input graph path or generator spec (required)")
+		out        = flag.String("out", "", "optional output path for the chordal subgraph")
+		variant    = flag.String("variant", "auto", "auto|opt|unopt")
+		schedule   = flag.String("schedule", "dataflow", "dataflow|async|sync")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		serial     = flag.Bool("serial", false, "use the serial Dearing et al. baseline")
+		parts      = flag.Int("partition", 0, "use the distributed-style baseline with this many partitions (plus cycle cleanup)")
+		shards     = flag.Int("shards", 0, "run sharded extraction with this many vertex-range shards (border edges reconciled chordality-preserving)")
+		stitchOnly = flag.Bool("shard-stitch-only", false, "with -shards: reconcile border edges by spanning stitch only")
+		repair     = flag.Bool("repair", false, "run the maximality repair post-pass")
+		stitch     = flag.Bool("stitch", false, "stitch disconnected chordal components")
+		bfs        = flag.Bool("bfs-relabel", false, "renumber vertices in BFS order before extraction")
+		doVerify   = flag.Bool("verify", false, "verify chordality (and audit maximality on small graphs)")
+		iters      = flag.Bool("iters", false, "print per-iteration queue statistics")
+		timings    = flag.Bool("timings", false, "print per-stage pipeline timings")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -42,12 +45,14 @@ func main() {
 	}
 
 	p := chordal.Pipeline{
-		Source:     *in,
-		Extract:    true,
-		Serial:     *serial,
-		Partitions: *parts,
-		Verify:     *doVerify,
-		Output:     *out,
+		Source:          *in,
+		Extract:         true,
+		Serial:          *serial,
+		Partitions:      *parts,
+		Shards:          *shards,
+		ShardStitchOnly: *stitchOnly,
+		Verify:          *doVerify,
+		Output:          *out,
 	}
 	if *bfs {
 		p.Relabel = chordal.RelabelBFS
@@ -80,6 +85,20 @@ func main() {
 		ps := res.Partition
 		fmt.Printf("partitioned (%d parts): %d interior + %d border edges kept; cleanup removed %d in %d rounds\n",
 			ps.Parts, ps.InteriorEdges, ps.BorderAdmitted, ps.CleanupRemoved, ps.CleanupRounds)
+	case *shards > 0:
+		sh := res.Shard
+		fmt.Printf("sharded (%d shards): %d interior + %d stitched (%d border bridges) + %d border-admitted + %d repaired = %d edges\n",
+			sh.Shards, sh.InteriorEdges, sh.StitchedEdges, sh.BorderBridges, sh.BorderAdmitted,
+			sh.RepairedEdges, res.Subgraph.NumEdges())
+		if *iters {
+			fmt.Printf("%6s %12s %12s\n", "shard", "iters", "edges")
+			for i, it := range sh.PerShardIterations {
+				fmt.Printf("%6d %12d %12d\n", i, it, sh.PerShardEdges[i])
+			}
+		}
+		if !sh.Chordal {
+			fail(fmt.Errorf("shard reconciliation self-check FAILED: merged subgraph not chordal"))
+		}
 	default:
 		r := res.Extraction
 		fmt.Printf("parallel (%s/%s): %d chordal edges (%.1f%% of input) in %s, %d iterations\n",

@@ -11,11 +11,12 @@
 //
 // Endpoints (see internal/service and README.md for the full API):
 //
-//	POST /v1/jobs                submit (JSON {source, options} or multipart upload)
-//	GET  /v1/jobs/{id}           status + metrics
-//	GET  /v1/jobs/{id}/events    SSE progress stream
-//	GET  /v1/jobs/{id}/result    chordal subgraph (?format=edges|bin|mtx)
-//	GET  /healthz                liveness + occupancy
+//	POST   /v1/jobs              submit (JSON {source, options} or multipart upload)
+//	GET    /v1/jobs/{id}         status + metrics
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/jobs/{id}/events  SSE progress stream
+//	GET    /v1/jobs/{id}/result  chordal subgraph (?format=edges|bin|mtx)
+//	GET    /healthz              liveness + occupancy
 //
 // SIGINT/SIGTERM shut the server down gracefully: listeners close,
 // in-flight jobs are canceled at their next iteration boundary, and
@@ -46,6 +47,7 @@ func main() {
 		resultCache = flag.Int("result-cache", 64, "completed-extraction LRU entries (negative disables)")
 		maxUpload   = flag.Int64("max-upload", 256<<20, "maximum multipart upload bytes")
 		allowPaths  = flag.Bool("allow-paths", false, "permit server-side file paths as job sources (trusted deployments only)")
+		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "garbage-collect terminal jobs this long after finishing (negative disables)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 		ResultCacheEntries: *resultCache,
 		MaxUploadBytes:     *maxUpload,
 		AllowPathSources:   *allowPaths,
+		JobTTL:             *jobTTL,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

@@ -73,6 +73,10 @@ type Params struct {
 	HubDegree int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the generation goroutines; <=0 means GOMAXPROCS.
+	// Sampling uses per-module PRNG streams, so Workers affects only
+	// speed, never the generated network.
+	Workers int
 }
 
 // Dataset names the four networks of the paper's bio suite.
@@ -182,7 +186,7 @@ func Generate(p Params) (*graph.Graph, error) {
 	}
 	rng := xrand.NewXoshiro256(p.Seed)
 	n := p.Genes
-	workers := parallel.WorkerCount(0)
+	workers := parallel.WorkerCount(p.Workers)
 	bufs := parallel.NewEdgeBuffers(workers)
 
 	// Reserve the first Hubs ids for hub genes so hubs tend to be low
@@ -285,13 +289,13 @@ func Generate(p Params) (*graph.Graph, error) {
 	})
 
 	us, vs := bufs.Concat()
-	g := graph.BuildFromEdges(n, us, vs)
+	g := graph.BuildFromEdgesWorkers(n, us, vs, p.Workers)
 	// Scatter vertex ids: microarray probe ids carry no relation to
 	// co-expression modules, so module members must not be contiguous
 	// in id space. (This also matters for reproduction fidelity: the
 	// extraction algorithm resolves an id-contiguous dense module in
 	// far fewer iterations than a scattered one.)
-	return g.Relabel(rng.Perm(n)), nil
+	return g.RelabelWorkers(rng.Perm(n), p.Workers), nil
 }
 
 // ExpressionMatrix is a genes x samples matrix of synthetic expression

@@ -71,6 +71,8 @@ func ExtractContext(ctx context.Context, g *graph.Graph, opts Options) (*Result,
 		return nil, fmt.Errorf("core: %d vertices exceed int32 id space", n)
 	}
 
+	workers := parallel.WorkerCount(opts.Workers)
+
 	variant := opts.Variant
 	if variant == VariantAuto {
 		if g.Sorted {
@@ -82,11 +84,10 @@ func ExtractContext(ctx context.Context, g *graph.Graph, opts Options) (*Result,
 	if variant == VariantOptimized && !g.Sorted {
 		// The paper's Opt variant requires ordered neighbor lists and
 		// excludes the sorting time from its measurements; we do the
-		// same by sorting a copy up front.
-		g = g.SortAdjacency()
+		// same by sorting a copy up front, inside the worker bound so a
+		// budget-leased job never sorts at machine width.
+		g = g.SortAdjacencyWorkers(opts.Workers)
 	}
-
-	workers := parallel.WorkerCount(opts.Workers)
 
 	st := &state{
 		g:        g,
@@ -103,6 +104,7 @@ func ExtractContext(ctx context.Context, g *graph.Graph, opts Options) (*Result,
 		NumVertices: n,
 		Variant:     variant,
 		Schedule:    opts.Schedule,
+		workers:     opts.Workers,
 		csetOff:     st.csetOff,
 		csetData:    st.csetData,
 		csetLen:     st.csetLen,

@@ -43,9 +43,15 @@ func TestGoldenCounts(t *testing.T) {
 	got = append(got, row{"GSE5140(UNT)/64", bg.NumEdges(), res.NumChordalEdges(), len(res.Iterations)})
 
 	want := []row{
-		{"RMAT-ER", 8115, 1007, 8},
-		{"RMAT-G", 7627, 1284, 9},
-		{"RMAT-B", 6796, 1702, 8},
+		// Pinned after R-MAT sampling moved from per-worker to
+		// fixed-chunk PRNG streams (the sampled graph is now independent
+		// of worker count and machine, the invariant the service's
+		// generated-input cache relies on); the new instances were
+		// re-audited: extraction output chordal, byte-identical across
+		// worker counts, usual few §5 repairable edges.
+		{"RMAT-ER", 8116, 1021, 7},
+		{"RMAT-G", 7579, 1259, 8},
+		{"RMAT-B", 6745, 1618, 9},
 		// Pinned after the biogen generator moved its module and hub
 		// sampling onto per-module PRNG streams (parallel generation);
 		// the new instance was re-audited: extraction output chordal,

@@ -10,14 +10,14 @@ import "chordal/internal/graph"
 // lie on a cycle — and connects everything the original graph allows.
 func stitchComponents(g *graph.Graph, res *Result) {
 	n := res.NumVertices
-	uf := newUnionFind(n)
+	uf := NewUnionFind(n)
 	for _, e := range res.Edges {
-		uf.union(e.U, e.V)
+		uf.Union(e.U, e.V)
 	}
 	added := false
 	g.Edges(func(u, v int32) {
-		if uf.find(u) != uf.find(v) {
-			uf.union(u, v)
+		if uf.Find(u) != uf.Find(v) {
+			uf.Union(u, v)
 			res.addChordalEdge(u, v)
 			res.StitchedEdges++
 			added = true
@@ -28,21 +28,27 @@ func stitchComponents(g *graph.Graph, res *Result) {
 	}
 }
 
-// unionFind is a standard weighted quick-union with path halving.
-type unionFind struct {
+// UnionFind is a standard weighted quick-union with path halving over
+// int32 vertex ids. Both the component stitch here and the sharded
+// reconciliation in internal/shard build their spanning stitches on
+// it.
+type UnionFind struct {
 	parent []int32
 	rank   []int8
 }
 
-func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+// NewUnionFind returns a UnionFind over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), rank: make([]int8, n)}
 	for i := range uf.parent {
 		uf.parent[i] = int32(i)
 	}
 	return uf
 }
 
-func (uf *unionFind) find(x int32) int32 {
+// Find returns the representative of x's set, halving the path as it
+// walks.
+func (uf *UnionFind) Find(x int32) int32 {
 	for uf.parent[x] != x {
 		uf.parent[x] = uf.parent[uf.parent[x]]
 		x = uf.parent[x]
@@ -50,8 +56,9 @@ func (uf *unionFind) find(x int32) int32 {
 	return x
 }
 
-func (uf *unionFind) union(a, b int32) {
-	ra, rb := uf.find(a), uf.find(b)
+// Union merges the sets of a and b by rank.
+func (uf *UnionFind) Union(a, b int32) {
+	ra, rb := uf.Find(a), uf.Find(b)
 	if ra == rb {
 		return
 	}

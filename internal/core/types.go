@@ -197,6 +197,11 @@ type Result struct {
 	// StitchedEdges counts edges added by the StitchComponents pass.
 	StitchedEdges int
 
+	// workers is the worker bound the extraction ran under (0 = machine
+	// width); ToGraph materializes the subgraph inside the same bound so
+	// a budget-leased job never builds at machine width.
+	workers int
+
 	csetOff  []int64
 	csetData []int32
 	csetLen  []int32
@@ -233,15 +238,16 @@ func (r *Result) HasChordalEdge(u, v int32) bool {
 	return lo < len(set) && set[lo] == u
 }
 
-// ToGraph materializes the chordal edge set as a CSR graph over the same
-// vertex ids.
+// ToGraph materializes the chordal edge set as a CSR graph over the
+// same vertex ids, bounded to the worker count the extraction ran
+// under.
 func (r *Result) ToGraph() *graph.Graph {
 	us := make([]int32, len(r.Edges))
 	vs := make([]int32, len(r.Edges))
 	for i, e := range r.Edges {
 		us[i], vs[i] = e.U, e.V
 	}
-	return graph.SubgraphFromEdges(r.NumVertices, us, vs)
+	return graph.SubgraphFromEdgesWorkers(r.NumVertices, us, vs, r.workers)
 }
 
 // TotalTested returns the number of subset tests over all iterations.

@@ -45,6 +45,13 @@ func (b *Builder) Build() *Graph {
 	return BuildFromEdges(b.n, b.us, b.vs)
 }
 
+// BuildWorkers is Build bounded to the given worker count; workers <= 0
+// selects the automatic memory-budgeted count. Budget-leased callers
+// use this so graph materialization stays inside their lease.
+func (b *Builder) BuildWorkers(workers int) *Graph {
+	return buildFromEdges(b.n, b.us, b.vs, workers)
+}
+
 // scatterWorkers picks the worker count for the count and scatter
 // passes over m edges into n buckets. Each worker carries a private
 // n-entry count array, so the count is bounded both by the available
@@ -64,10 +71,10 @@ func scatterWorkers(n, m int) int {
 }
 
 // countTotals sums per-worker per-vertex counts into a per-vertex
-// degree array.
-func countTotals(n int, counts [][]int32) []int64 {
+// degree array. workers bounds the pass (<= 0 means automatic).
+func countTotals(n, workers int, counts [][]int32) []int64 {
 	deg := make([]int64, n)
-	parallel.ForVertices(n, func(v int) {
+	parallel.ForVerticesN(n, workers, func(v int) {
 		var d int64
 		for w := range counts {
 			d += int64(counts[w][v])
@@ -83,8 +90,8 @@ func countTotals(n int, counts [][]int32) []int64 {
 // each vertex's bucket contiguously and without atomics. When every
 // position fits in int32, callers pass dst aliasing counts to convert
 // in place, avoiding a second set of per-worker arrays entirely.
-func seedCursors[C int32 | int64](n int, counts [][]int32, base []int64, dst [][]C) {
-	parallel.ForVertices(n, func(v int) {
+func seedCursors[C int32 | int64](n, workers int, counts [][]int32, base []int64, dst [][]C) {
+	parallel.ForVerticesN(n, workers, func(v int) {
 		pos := base[v]
 		for w := range counts {
 			c := counts[w][v]
@@ -149,6 +156,15 @@ func scatterSmaller[C int32 | int64](n, total, workers int, edgeOff []int64, edg
 	})
 }
 
+// BuildFromEdgesWorkers is BuildFromEdges bounded to the given worker
+// count in every construction phase; workers <= 0 selects the automatic
+// memory-budgeted count. This is the entry point for budget-leased
+// callers: a service job granted k worker tokens materializes graphs at
+// width k instead of machine width.
+func BuildFromEdgesWorkers(n int, us, vs []int32, workers int) *Graph {
+	return buildFromEdges(n, us, vs, workers)
+}
+
 // BuildFromEdges constructs a simple undirected CSR graph with sorted
 // adjacency lists from raw endpoint slices, dropping self loops and
 // duplicate edges (in either orientation). The input slices are not
@@ -186,6 +202,12 @@ func buildFromEdges(n int, us, vs []int32, forceWorkers int) *Graph {
 		panic("graph: BuildFromEdges endpoint slices differ in length")
 	}
 	m := len(us)
+	// bound caps every phase of the construction when the caller forced
+	// a worker count; 0 keeps the automatic per-phase widths.
+	bound := 0
+	if forceWorkers > 0 {
+		bound = forceWorkers
+	}
 	workers := forceWorkers
 	if workers <= 0 {
 		workers = scatterWorkers(n, m)
@@ -215,14 +237,14 @@ func buildFromEdges(n int, us, vs []int32, forceWorkers int) *Graph {
 	// endpoint into its smaller endpoint's bucket. When offsets fit in
 	// int32 (graphs under 2^31 half-edges, i.e. essentially all) the
 	// count arrays are converted to cursors in place.
-	lowOff := parallel.Offsets(countTotals(n, counts))
+	lowOff := parallel.Offsets(countTotals(n, bound, counts))
 	lowAdj := make([]int32, lowOff[n])
 	if lowOff[n] <= math.MaxInt32 {
-		seedCursors(n, counts, lowOff, counts)
+		seedCursors(n, bound, counts, lowOff, counts)
 		scatterHalf(us, vs, workers, counts, lowAdj)
 	} else {
 		cursors := newCursorSet[int64](n, active)
-		seedCursors(n, counts, lowOff, cursors)
+		seedCursors(n, bound, counts, lowOff, cursors)
 		scatterHalf(us, vs, workers, cursors, lowAdj)
 	}
 	counts = nil
@@ -230,7 +252,7 @@ func buildFromEdges(n int, us, vs []int32, forceWorkers int) *Graph {
 	// Phase 3: sort and deduplicate each bucket, then compact. The
 	// result is the distinct edge set in canonical (u, v) order.
 	distinct := make([]int64, n)
-	parallel.For(n, 0, 256, func(_, v int) {
+	parallel.For(n, bound, 256, func(_, v int) {
 		s := lowAdj[lowOff[v]:lowOff[v+1]]
 		slices.Sort(s)
 		k := 0
@@ -244,7 +266,7 @@ func buildFromEdges(n int, us, vs []int32, forceWorkers int) *Graph {
 	})
 	edgeOff := parallel.Offsets(distinct)
 	edgeAdj := make([]int32, edgeOff[n])
-	parallel.For(n, 0, 256, func(_, v int) {
+	parallel.For(n, bound, 256, func(_, v int) {
 		copy(edgeAdj[edgeOff[v]:edgeOff[v+1]], lowAdj[lowOff[v]:lowOff[v]+distinct[v]])
 	})
 	lowAdj = nil
@@ -273,9 +295,9 @@ func buildFromEdges(n int, us, vs []int32, forceWorkers int) *Graph {
 
 	// Phase 5: full CSR offsets. Vertex v's bucket holds its smaller
 	// neighbors first, then its own half-edge (larger) list.
-	inDeg := countTotals(n, inCounts)
+	inDeg := countTotals(n, bound, inCounts)
 	deg := make([]int64, n)
-	parallel.ForVertices(n, func(v int) {
+	parallel.ForVerticesN(n, bound, func(v int) {
 		deg[v] = inDeg[v] + distinct[v]
 	})
 	offsets := parallel.Offsets(deg)
@@ -283,18 +305,18 @@ func buildFromEdges(n int, us, vs []int32, forceWorkers int) *Graph {
 
 	// Phase 6a: copy each vertex's larger neighbors after its
 	// smaller-neighbor region.
-	parallel.For(n, 0, 256, func(_, v int) {
+	parallel.For(n, bound, 256, func(_, v int) {
 		copy(adj[offsets[v]+inDeg[v]:offsets[v+1]], edgeAdj[edgeOff[v]:edgeOff[v+1]])
 	})
 
 	// Phase 6b: scatter each vertex's smaller neighbors, ascending-u by
 	// construction (see scatterSmaller).
 	if offsets[n] <= math.MaxInt32 {
-		seedCursors(n, inCounts, offsets, inCounts)
+		seedCursors(n, bound, inCounts, offsets, inCounts)
 		scatterSmaller(n, total, inWorkers, edgeOff, edgeAdj, adj, inCounts)
 	} else {
 		inCursors := newCursorSet[int64](n, inActive)
-		seedCursors(n, inCounts, offsets, inCursors)
+		seedCursors(n, bound, inCounts, offsets, inCursors)
 		scatterSmaller(n, total, inWorkers, edgeOff, edgeAdj, adj, inCursors)
 	}
 	return &Graph{Offsets: offsets, Adj: adj, Sorted: true}

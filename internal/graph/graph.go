@@ -82,13 +82,20 @@ func (g *Graph) MaxDegree() int {
 // If g is already sorted it is returned unchanged. Lists are sorted in
 // parallel across vertices.
 func (g *Graph) SortAdjacency() *Graph {
+	return g.SortAdjacencyWorkers(0)
+}
+
+// SortAdjacencyWorkers is SortAdjacency bounded to the given worker
+// count (<= 0 means machine width), so budget-leased callers sort
+// inside their lease.
+func (g *Graph) SortAdjacencyWorkers(workers int) *Graph {
 	if g.Sorted {
 		return g
 	}
 	adj := make([]int32, len(g.Adj))
 	copy(adj, g.Adj)
 	out := &Graph{Offsets: g.Offsets, Adj: adj, Sorted: true}
-	parallel.ForVertices(g.NumVertices(), func(v int) {
+	parallel.ForVerticesN(g.NumVertices(), workers, func(v int) {
 		lo, hi := g.Offsets[v], g.Offsets[v+1]
 		slices.Sort(adj[lo:hi])
 	})
@@ -219,6 +226,13 @@ func (g *Graph) InducedSubgraph(keep []int32) (*Graph, []int32) {
 // perm must be a permutation of [0, NumVertices). The result preserves
 // the Sorted flag by re-sorting if g was sorted.
 func (g *Graph) Relabel(perm []int32) *Graph {
+	return g.RelabelWorkers(perm, 0)
+}
+
+// RelabelWorkers is Relabel bounded to the given worker count (<= 0
+// means machine width), the budget-leased form the pipeline's relabel
+// stage uses.
+func (g *Graph) RelabelWorkers(perm []int32, workers int) *Graph {
 	n := g.NumVertices()
 	if len(perm) != n {
 		panic("graph: Relabel permutation has wrong length")
@@ -232,7 +246,7 @@ func (g *Graph) Relabel(perm []int32) *Graph {
 		offsets[v+1] = offsets[v] + deg[v+1]
 	}
 	adj := make([]int32, len(g.Adj))
-	parallel.ForVertices(n, func(v int) {
+	parallel.ForVerticesN(n, workers, func(v int) {
 		nv := perm[v]
 		dst := adj[offsets[nv]:offsets[nv+1]]
 		for i, w := range g.Neighbors(int32(v)) {
@@ -241,7 +255,7 @@ func (g *Graph) Relabel(perm []int32) *Graph {
 	})
 	out := &Graph{Offsets: offsets, Adj: adj}
 	if g.Sorted {
-		out = out.SortAdjacency()
+		out = out.SortAdjacencyWorkers(workers)
 	}
 	return out
 }
@@ -250,6 +264,14 @@ func (g *Graph) Relabel(perm []int32) *Graph {
 // only the listed edges (given as endpoint pairs with no required order).
 // It is used to materialize extracted chordal edge sets as graphs.
 func SubgraphFromEdges(n int, us, vs []int32) *Graph {
+	return SubgraphFromEdgesWorkers(n, us, vs, 0)
+}
+
+// SubgraphFromEdgesWorkers is SubgraphFromEdges bounded to the given
+// worker count (<= 0 means the automatic width), so an extraction that
+// ran on a budget lease materializes its subgraph inside the same
+// lease.
+func SubgraphFromEdgesWorkers(n int, us, vs []int32, workers int) *Graph {
 	if len(us) != len(vs) {
 		panic("graph: SubgraphFromEdges endpoint slices differ in length")
 	}
@@ -257,5 +279,5 @@ func SubgraphFromEdges(n int, us, vs []int32) *Graph {
 	for i := range us {
 		b.AddEdge(us[i], vs[i])
 	}
-	return b.Build()
+	return b.BuildWorkers(workers)
 }

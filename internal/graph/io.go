@@ -230,7 +230,14 @@ func parseEdgeLines(c textChunk, base int64, maxVertex int, emit func(u, v int32
 // parsing. Vertex count is inferred as max id + 1 unless a larger n is
 // given (pass 0 to infer).
 func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
-	workers := parallel.WorkerCount(0)
+	return ReadEdgeListWorkers(r, n, 0)
+}
+
+// ReadEdgeListWorkers is ReadEdgeList bounded to the given worker count
+// for both the chunked parse and the CSR build (<= 0 means machine
+// width).
+func ReadEdgeListWorkers(r io.Reader, n, maxWorkers int) (*Graph, error) {
+	workers := parallel.WorkerCount(maxWorkers)
 	bufs := parallel.NewEdgeBuffers(workers)
 	maxIDs := parallel.NewPadded[int32](workers)
 	for w := range maxIDs {
@@ -260,7 +267,7 @@ func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
 		n = int(maxID) + 1
 	}
 	us, vs := bufs.Concat()
-	return BuildFromEdges(n, us, vs), nil
+	return BuildFromEdgesWorkers(n, us, vs, maxWorkers), nil
 }
 
 const binaryMagic = "CHRD"
@@ -298,6 +305,12 @@ func WriteBinary(w io.Writer, g *Graph) error {
 // reflection-based encoding/binary slice path — this is the fast path
 // LoadFile takes for .bin files.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	return ReadBinaryWorkers(r, 0)
+}
+
+// ReadBinaryWorkers is ReadBinary with the parallel payload decode
+// bounded to the given worker count (<= 0 means machine width).
+func ReadBinaryWorkers(r io.Reader, maxWorkers int) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -336,7 +349,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if _, err := io.ReadFull(br, raw); err != nil {
 		return nil, err
 	}
-	parallel.ForChunks(int(n+1), parallel.WorkersFor(int(n+1), 1<<16), func(_, lo, hi int) {
+	parallel.ForChunks(int(n+1), boundedWorkers(int(n+1), 1<<16, maxWorkers), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g.Offsets[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
 		}
@@ -345,12 +358,22 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if _, err := io.ReadFull(br, raw); err != nil {
 		return nil, err
 	}
-	parallel.ForChunks(int(adjLen), parallel.WorkersFor(int(adjLen), 1<<16), func(_, lo, hi int) {
+	parallel.ForChunks(int(adjLen), boundedWorkers(int(adjLen), 1<<16, maxWorkers), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g.Adj[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
 		}
 	})
 	return g, nil
+}
+
+// boundedWorkers clamps the automatic worker pick for n items to an
+// optional explicit bound (<= 0 means no bound).
+func boundedWorkers(n, minChunk, bound int) int {
+	w := parallel.WorkersFor(n, minChunk)
+	if bound > 0 && w > bound {
+		w = bound
+	}
+	return w
 }
 
 // WriteMatrixMarket writes g in Matrix Market symmetric pattern format.
@@ -381,6 +404,13 @@ func WriteMatrixMarket(w io.Writer, g *Graph) error {
 // ignoring any numeric values. The header is read serially; the entry
 // body streams through the chunked parallel parser.
 func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	return ReadMatrixMarketWorkers(r, 0)
+}
+
+// ReadMatrixMarketWorkers is ReadMatrixMarket bounded to the given
+// worker count for both the chunked parse and the CSR build (<= 0 means
+// machine width).
+func ReadMatrixMarketWorkers(r io.Reader, maxWorkers int) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	header, err := br.ReadString('\n')
 	if err != nil && header == "" {
@@ -426,7 +456,7 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 		}
 		break
 	}
-	workers := parallel.WorkerCount(0)
+	workers := parallel.WorkerCount(maxWorkers)
 	bufs := parallel.NewEdgeBuffers(workers)
 	err = parseChunks(br, line+1, workers, func(worker int, c textChunk) *lineError {
 		return parseEdgeLines(c, 1, n, func(u, v int32) {
@@ -437,7 +467,7 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	us, vs := bufs.Concat()
-	return BuildFromEdges(n, us, vs), nil
+	return BuildFromEdgesWorkers(n, us, vs, maxWorkers), nil
 }
 
 // SaveFile writes g to path, choosing the format from the extension:
@@ -465,6 +495,13 @@ func SaveFile(path string, g *Graph) error {
 // LoadFile reads a graph from path, choosing the format from the
 // extension as in SaveFile.
 func LoadFile(path string) (*Graph, error) {
+	return LoadFileWorkers(path, 0)
+}
+
+// LoadFileWorkers is LoadFile with the parallel decode bounded to the
+// given worker count (<= 0 means machine width). The pipeline's acquire
+// stage uses this so file ingestion respects a job's budget lease.
+func LoadFileWorkers(path string, maxWorkers int) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -472,10 +509,10 @@ func LoadFile(path string) (*Graph, error) {
 	defer f.Close()
 	switch {
 	case strings.HasSuffix(path, ".bin"):
-		return ReadBinary(f)
+		return ReadBinaryWorkers(f, maxWorkers)
 	case strings.HasSuffix(path, ".mtx"):
-		return ReadMatrixMarket(f)
+		return ReadMatrixMarketWorkers(f, maxWorkers)
 	default:
-		return ReadEdgeList(f, 0)
+		return ReadEdgeListWorkers(f, 0, maxWorkers)
 	}
 }

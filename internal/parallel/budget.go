@@ -1,6 +1,9 @@
 package parallel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Budget is a shared pool of worker tokens that divides the machine's
 // effective parallelism among concurrent jobs. Each job leases as many
@@ -41,20 +44,62 @@ func (b *Budget) Total() int { return b.total }
 // token is released. want <= 0 requests the full pool. The caller must
 // Release exactly the granted count when its work completes.
 func (b *Budget) Lease(want int) int {
+	granted, _ := b.lease(context.Background(), want)
+	return granted
+}
+
+// LeaseContext is Lease under a context: a caller blocked on an empty
+// pool is released when ctx is done, receiving 0 tokens and ctx.Err().
+// A canceled job must never wait out another job's lease, and a grant
+// of 0 needs no Release — this is how the service's cancel endpoint
+// frees a queued job without leaking budget tokens.
+func (b *Budget) LeaseContext(ctx context.Context, want int) (int, error) {
+	return b.lease(ctx, want)
+}
+
+func (b *Budget) lease(ctx context.Context, want int) (int, error) {
 	if want <= 0 || want > b.total {
 		want = b.total
+	}
+	// A cond has no channel to select on; a watcher goroutine turns
+	// ctx cancellation into a broadcast so the wait loop can re-check.
+	// The watcher exits as soon as the lease resolves.
+	done := make(chan struct{})
+	defer close(done)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				// Taking the lock before broadcasting closes the race
+				// with a waiter between its ctx check and cond.Wait:
+				// Wait releases the lock atomically, so once this lock
+				// is acquired the waiter is either not yet in the loop
+				// (its next ctx check fails) or parked (the broadcast
+				// wakes it).
+				b.mu.Lock()
+				b.mu.Unlock()
+				b.cond.Broadcast()
+			case <-done:
+			}
+		}()
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for b.avail == 0 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		b.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	granted := want
 	if granted > b.avail {
 		granted = b.avail
 	}
 	b.avail -= granted
-	return granted
+	return granted, nil
 }
 
 // Release returns n previously leased tokens to the pool and wakes

@@ -156,8 +156,21 @@ func ForChunks(n, workers int, fn func(worker, lo, hi int)) {
 // Small loops (under the internal minimum chunk) run inline to avoid
 // goroutine overhead.
 func ForVertices(n int, fn func(v int)) {
+	ForVerticesN(n, 0, fn)
+}
+
+// ForVerticesN is ForVertices with an explicit upper bound on worker
+// goroutines, the hook that lets budget-leased callers (the service
+// layer grants each job a worker lease) keep per-vertex passes inside
+// their lease instead of spilling to machine width. workers <= 0
+// selects the automatic count.
+func ForVerticesN(n, workers int, fn func(v int)) {
 	const minChunk = 2048
-	ForChunks(n, WorkersFor(n, minChunk), func(_, lo, hi int) {
+	w := WorkersFor(n, minChunk)
+	if workers > 0 && w > workers {
+		w = workers
+	}
+	ForChunks(n, w, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			fn(v)
 		}

@@ -106,18 +106,7 @@ func dropValue(s []int32, x int32) []int32 {
 func ExtractAndClean(g *graph.Graph, parts int) (*Result, CleanupReport) {
 	res := Extract(g, parts)
 	n := g.NumVertices()
-	if parts < 1 {
-		parts = 1
-	}
-	if parts > n {
-		parts = n
-	}
-	rep := res.Cleanup(n, partOfFunc(n, parts), 0)
+	parts = ClampParts(n, parts)
+	rep := res.Cleanup(n, PartOf(n, parts), 0)
 	return res, rep
-}
-
-// partOfFunc returns the partition function used by Extract for a
-// graph with n vertices split into parts contiguous ranges.
-func partOfFunc(n, parts int) func(int32) int {
-	return func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
 }

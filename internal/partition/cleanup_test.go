@@ -33,7 +33,7 @@ func TestCleanupOnStructuredInput(t *testing.T) {
 		t.Skip("this instance happened to be chordal; nothing to clean")
 	}
 	before := len(res.Edges)
-	rep := res.Cleanup(g.NumVertices(), partOfFunc(g.NumVertices(), 6), 0)
+	rep := res.Cleanup(g.NumVertices(), PartOf(g.NumVertices(), 6), 0)
 	if !rep.Chordal {
 		t.Fatal("cleanup did not converge")
 	}
@@ -57,7 +57,7 @@ func TestCleanupRoundLimit(t *testing.T) {
 	if res.Chordal {
 		t.Skip("instance already chordal")
 	}
-	rep := res.Cleanup(g.NumVertices(), partOfFunc(g.NumVertices(), 8), 1)
+	rep := res.Cleanup(g.NumVertices(), PartOf(g.NumVertices(), 8), 1)
 	if rep.Rounds > 1 {
 		t.Fatalf("round limit ignored: %d rounds", rep.Rounds)
 	}
@@ -66,7 +66,7 @@ func TestCleanupRoundLimit(t *testing.T) {
 func TestCleanupNoopOnChordal(t *testing.T) {
 	g := randomGraph(50, 100, 5)
 	res, _ := ExtractAndClean(g, 1) // single partition: serial, chordal
-	rep := res.Cleanup(50, partOfFunc(50, 1), 0)
+	rep := res.Cleanup(50, PartOf(50, 1), 0)
 	if rep.Removed != 0 || rep.Rounds != 0 || !rep.Chordal {
 		t.Fatalf("noop cleanup did work: %+v", rep)
 	}

@@ -54,6 +54,33 @@ func (r *Result) ToGraph(n int) *graph.Graph {
 	return graph.SubgraphFromEdges(n, us, vs)
 }
 
+// ClampParts bounds a requested part count to [1, n], the valid range
+// for a contiguous partition of n vertices.
+func ClampParts(n, parts int) int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	return parts
+}
+
+// PartOf returns the contiguous-range part assignment for a graph with
+// n vertices split into parts ranges: vertex v belongs to part
+// v*parts/n. This is the shared assignment used by both the
+// distributed-style baseline here and the sharded extraction in
+// internal/shard, so border-edge classification agrees everywhere.
+func PartOf(n, parts int) func(v int32) int {
+	return func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
+}
+
+// Bounds returns the vertex id range [lo, hi) of part p under the
+// PartOf assignment.
+func Bounds(n, parts, p int) (lo, hi int32) {
+	return int32(int64(p) * int64(n) / int64(parts)), int32(int64(p+1) * int64(n) / int64(parts))
+}
+
 // Extract partitions g into parts contiguous vertex ranges, extracts a
 // maximal chordal subgraph inside each range concurrently with the
 // serial baseline, then admits border edges that form a triangle with
@@ -61,23 +88,16 @@ func (r *Result) ToGraph(n int) *graph.Graph {
 func Extract(g *graph.Graph, parts int) *Result {
 	t0 := time.Now()
 	n := g.NumVertices()
-	if parts < 1 {
-		parts = 1
-	}
-	if parts > n {
-		parts = n
-	}
+	parts = ClampParts(n, parts)
 	res := &Result{Parts: parts}
 
-	// Contiguous range partition: vertex v belongs to part v*parts/n.
-	partOf := func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
+	partOf := PartOf(n, parts)
 
 	// Interior extraction, one task per part on the shared runtime.
 	type interior struct{ edges []dearing.Edge }
 	interiors := make([]interior, parts)
 	parallel.For(parts, 0, 1, func(_, p int) {
-		lo := int32(int64(p) * int64(n) / int64(parts))
-		hi := int32(int64(p+1) * int64(n) / int64(parts))
+		lo, hi := Bounds(n, parts, p)
 		ids := make([]int32, 0, hi-lo)
 		for v := lo; v < hi; v++ {
 			ids = append(ids, v)

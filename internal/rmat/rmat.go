@@ -35,14 +35,15 @@ type Params struct {
 	// A, B, C, D are the quadrant probabilities; they must be positive
 	// and sum to 1 within a small tolerance.
 	A, B, C, D float64
-	// Seed makes generation deterministic; the same seed and worker
-	// count yield the same graph.
+	// Seed makes generation deterministic: the same Params yield the
+	// same graph regardless of worker count or machine.
 	Seed uint64
 	// Noise, when positive, perturbs the quadrant probabilities at each
 	// recursion level by up to +/-Noise (the "smoothing" commonly applied
 	// to avoid exact self-similarity). Zero matches the classic model.
 	Noise float64
 	// Workers bounds the generation goroutines; <=0 means GOMAXPROCS.
+	// It affects only speed, never the sampled graph.
 	Workers int
 }
 
@@ -111,9 +112,19 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Generate produces the simple undirected graph described by p. Edges are
-// generated in parallel on disjoint PRNG streams and deduplicated during
-// CSR construction, so the result is deterministic in p.Seed.
+// genChunks is the fixed number of disjoint PRNG streams edge sampling
+// is split into. It is a constant — not the worker or CPU count — so
+// the sampled edge multiset depends only on the Params, never on the
+// machine or on how many goroutines happened to run the chunks. That
+// invariance is what lets the service layer cache generated inputs by
+// canonical spec while granting each job a different worker lease.
+const genChunks = 256
+
+// Generate produces the simple undirected graph described by p. Edges
+// are sampled in a fixed number of chunks on disjoint PRNG streams and
+// deduplicated during CSR construction, so the result is deterministic
+// in the Params alone: Workers changes only how fast the chunks run,
+// not the graph.
 func Generate(p Params) (*graph.Graph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -121,35 +132,39 @@ func Generate(p Params) (*graph.Graph, error) {
 	n := 1 << p.Scale
 	m := int64(n) * int64(p.EdgeFactor)
 
-	workers := parallel.WorkerCount(p.Workers)
-	if int64(workers) > m {
-		workers = int(m)
+	chunks := genChunks
+	if int64(chunks) > m {
+		chunks = int(m)
 	}
-	if workers < 1 {
-		workers = 1
+	if chunks < 1 {
+		chunks = 1
+	}
+	workers := parallel.WorkerCount(p.Workers)
+	if workers > chunks {
+		workers = chunks
 	}
 
-	// Disjoint PRNG streams per worker keep generation deterministic in
-	// (Seed, Workers); the per-worker edge buffers of the shared runtime
-	// collect the streams lock-free and gather them in worker order.
-	streams := xrand.Streams(p.Seed, workers)
-	bufs := parallel.NewEdgeBuffers(workers)
-	per := m / int64(workers)
-	extra := m % int64(workers)
-	parallel.For(workers, workers, 1, func(_, w int) {
+	// One edge buffer per chunk (not per worker): Concat gathers them in
+	// chunk order, so the edge stream is identical whichever workers ran
+	// which chunks.
+	streams := xrand.Streams(p.Seed, chunks)
+	bufs := parallel.NewEdgeBuffers(chunks)
+	per := m / int64(chunks)
+	extra := m % int64(chunks)
+	parallel.For(chunks, workers, 1, func(_, c int) {
 		count := per
-		if int64(w) < extra {
+		if int64(c) < extra {
 			count++
 		}
-		rng := streams[w]
-		bufs.Grow(w, int(count))
+		rng := streams[c]
+		bufs.Grow(c, int(count))
 		for i := int64(0); i < count; i++ {
 			u, v := sampleEdge(rng, p)
-			bufs.Add(w, u, v)
+			bufs.Add(c, u, v)
 		}
 	})
 	us, vs := bufs.Concat()
-	return graph.BuildFromEdges(n, us, vs), nil
+	return graph.BuildFromEdgesWorkers(n, us, vs, p.Workers), nil
 }
 
 // sampleEdge draws one edge by recursive quadrant descent.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
 	"time"
@@ -9,14 +10,20 @@ import (
 	"chordal/internal/graph"
 )
 
-// Job states, in lifecycle order. A job moves queued → running → done
-// or failed; cache hits are born done.
+// Job states, in lifecycle order. A job moves queued → running → done,
+// failed, or canceled; cache hits are born done.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
 )
+
+// terminalState reports whether s is a final job state.
+func terminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // StageMillis is one pipeline stage's wall-clock duration in the
 // status metrics.
@@ -37,8 +44,21 @@ type Metrics struct {
 	// EdgesKeptPct is its share of the input edges.
 	ChordalEdges int     `json:"chordalEdges"`
 	EdgesKeptPct float64 `json:"edgesKeptPct"`
-	// Iterations is the extract loop's iteration count.
+	// Iterations is the extract loop's iteration count (whole-graph
+	// extraction; sharded jobs report per-shard counts instead).
 	Iterations int `json:"iterations"`
+	// Shards is the shard count of a sharded extraction (0 for
+	// whole-graph jobs); ShardIterations has one kernel iteration count
+	// per shard.
+	Shards          int   `json:"shards,omitempty"`
+	ShardIterations []int `json:"shardIterations,omitempty"`
+	// BorderTotal counts input edges crossing shards;
+	// StitchedBorderEdges the cross-shard bridges admitted by the
+	// spanning stitch; BorderAdmitted the border edges admitted by the
+	// exact chordality-preserving pass.
+	BorderTotal         int `json:"borderTotal,omitempty"`
+	StitchedBorderEdges int `json:"stitchedBorderEdges,omitempty"`
+	BorderAdmitted      int `json:"borderAdmitted,omitempty"`
 	// Variant and Schedule are the code path and test-ordering
 	// discipline actually used.
 	Variant  string `json:"variant"`
@@ -66,13 +86,15 @@ type Metrics struct {
 type JobStatus struct {
 	// ID is the server-assigned job identifier.
 	ID string `json:"id"`
-	// State is one of queued, running, done, failed.
+	// State is one of queued, running, done, failed, canceled.
 	State string `json:"state"`
 	// Source is the canonical input spec the job runs (uploads appear
 	// as upload:<hash>).
 	Source string `json:"source"`
-	// Cached reports that the job was served from the result cache
-	// without running the pipeline.
+	// Cached reports a born-done job registered to represent a cached
+	// result whose producing job was garbage collected. A result-cache
+	// hit normally returns the producing job itself (same id, Cached
+	// false) with HTTP 200 signalling the hit.
 	Cached bool `json:"cached,omitempty"`
 	// Created, Started and Finished are lifecycle timestamps; Started
 	// and Finished are omitted until reached.
@@ -102,15 +124,22 @@ type Job struct {
 
 	created time.Time
 
-	mu       sync.Mutex
-	state    string
-	started  time.Time
-	finished time.Time
-	err      error
-	metrics  *Metrics
-	subgraph *graph.Graph
-	events   []sseEvent
-	changed  chan struct{} // closed and replaced on every append
+	// ctx governs the job's execution and cancel aborts it; both are
+	// set by Server.submit before the job is published (born-done cache
+	// hits leave them nil — there is nothing to cancel).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	canceling bool // DELETE arrived; the next error finishes as canceled
+	started   time.Time
+	finished  time.Time
+	err       error
+	metrics   *Metrics
+	subgraph  *graph.Graph
+	events    []sseEvent
+	changed   chan struct{} // closed and replaced on every append
 }
 
 // newJob creates a queued job for spec.
@@ -158,7 +187,7 @@ func (j *Job) eventsSince(cursor int) (evs []sseEvent, terminal bool, changed <-
 	if cursor < len(j.events) {
 		evs = j.events[cursor:]
 	}
-	return evs, j.state == StateDone || j.state == StateFailed, j.changed
+	return evs, terminalState(j.state), j.changed
 }
 
 // setRunning transitions the job to running. The state change and its
@@ -187,13 +216,43 @@ func (j *Job) complete(now time.Time, m *Metrics, sub *graph.Graph) {
 }
 
 // fail finishes the job with an error; event ordering as in complete.
+// A job whose cancellation was requested finishes in the terminal
+// canceled state instead of failed — the context error it died with is
+// the cancel taking effect, not a fault.
 func (j *Job) fail(now time.Time, err error) {
 	j.mu.Lock()
-	j.state = StateFailed
+	if j.canceling {
+		j.state = StateCanceled
+	} else {
+		j.state = StateFailed
+	}
 	j.finished = now
 	j.err = err
 	j.appendLocked("done", j.statusLocked())
 	j.mu.Unlock()
+}
+
+// requestCancel marks the job for cancellation. It returns false when
+// the job is already terminal (nothing to cancel); otherwise the
+// caller must follow up by firing j.cancel. The job reaches the
+// terminal canceled state when its goroutine observes the dead context
+// at the next boundary.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalState(j.state) {
+		return false
+	}
+	j.canceling = true
+	return true
+}
+
+// terminalBefore reports whether the job is terminal and finished
+// before t — the GC sweep predicate.
+func (j *Job) terminalBefore(t time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return terminalState(j.state) && j.finished.Before(t)
 }
 
 // Status snapshots the job as its JSON view.
@@ -254,6 +313,15 @@ func buildMetrics(res *chordal.PipelineResult, workers int, extra []StageMillis)
 		m.Schedule = r.Schedule.String()
 		m.RepairedEdges = r.RepairedEdges
 		m.StitchedEdges = r.StitchedEdges
+	}
+	if sh := res.Shard; sh != nil {
+		m.Shards = sh.Shards
+		m.ShardIterations = sh.PerShardIterations
+		m.BorderTotal = sh.BorderTotal
+		m.StitchedEdges = sh.StitchedEdges
+		m.StitchedBorderEdges = sh.BorderBridges
+		m.BorderAdmitted = sh.BorderAdmitted
+		m.RepairedEdges = sh.RepairedEdges
 	}
 	if res.Verified {
 		ok := res.ChordalOK

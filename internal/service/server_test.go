@@ -143,13 +143,14 @@ func TestServeJobEndToEnd(t *testing.T) {
 		t.Errorf("result header %q does not report %s", header, want)
 	}
 
-	// An equivalent respelled submission is a cache hit, served done.
+	// An equivalent respelled submission is a cache hit (HTTP 200)
+	// returning the producing job itself — same id, no new job minted.
 	st2, code2 := submitJSON(t, ts.URL, JobRequest{Source: " RMAT-ER:8:7:8 "})
 	if code2 != http.StatusOK {
 		t.Errorf("resubmission: status %d, want %d (cache hit)", code2, http.StatusOK)
 	}
-	if !st2.Cached || st2.State != StateDone {
-		t.Errorf("resubmission: %+v, want cached done job", st2)
+	if st2.ID != st.ID || st2.State != StateDone {
+		t.Errorf("resubmission: %+v, want the original done job %s", st2, st.ID)
 	}
 	if st2.Metrics == nil || st2.Metrics.ChordalEdges != m.ChordalEdges {
 		t.Errorf("cached metrics %+v, want %d chordal edges", st2.Metrics, m.ChordalEdges)
@@ -192,10 +193,11 @@ func TestConcurrentSubmissions(t *testing.T) {
 		}
 	}
 
-	// The dust has settled: one more submission must be a pure hit.
+	// The dust has settled: one more submission must be a pure hit —
+	// HTTP 200 with an already-done job, no fresh execution.
 	st, code := submitJSON(t, ts.URL, JobRequest{Source: "gnm:2000:8000"})
-	if code != http.StatusOK || !st.Cached {
-		t.Errorf("post-storm submission: code %d cached %t, want cache hit", code, st.Cached)
+	if code != http.StatusOK || st.State != StateDone {
+		t.Errorf("post-storm submission: code %d state %s, want 200/done cache hit", code, st.State)
 	}
 	if got := svc.results.Len(); got < 1 {
 		t.Errorf("result cache has %d entries, want >= 1", got)
@@ -242,8 +244,8 @@ func TestMultipartUpload(t *testing.T) {
 	}
 
 	st2, code2 := post()
-	if code2 != http.StatusOK || !st2.Cached {
-		t.Errorf("re-upload: code %d cached %t, want content-addressed cache hit", code2, st2.Cached)
+	if code2 != http.StatusOK || st2.ID != st.ID {
+		t.Errorf("re-upload: code %d id %s, want content-addressed hit on job %s", code2, st2.ID, st.ID)
 	}
 }
 

@@ -4,14 +4,19 @@
 //
 // # API
 //
-//	POST /v1/jobs                submit a job: JSON {source, options} or
+//	POST   /v1/jobs              submit a job: JSON {source, options} or
 //	                             a multipart graph upload (field "graph",
 //	                             optional "options" JSON field)
-//	GET  /v1/jobs/{id}           status + metrics
-//	GET  /v1/jobs/{id}/events    server-sent events: state changes, stage
+//	GET    /v1/jobs/{id}         status + metrics
+//	DELETE /v1/jobs/{id}         cancel a queued or running job; it
+//	                             drains at the next iteration boundary
+//	                             into the terminal "canceled" state with
+//	                             its budget tokens released
+//	GET    /v1/jobs/{id}/events  server-sent events: state changes, stage
 //	                             starts, per-iteration extraction progress
-//	GET  /v1/jobs/{id}/result    the chordal subgraph (?format=edges|bin|mtx)
-//	GET  /healthz                liveness + job/cache counters
+//	                             (sharded jobs tag events with the shard)
+//	GET    /v1/jobs/{id}/result  the chordal subgraph (?format=edges|bin|mtx)
+//	GET    /healthz              liveness + job/cache counters
 //
 // # Architecture
 //
@@ -23,12 +28,15 @@
 // simultaneous default-width jobs divide the cores instead of each
 // running full width, and never serialize behind one another's leases
 // (a job requesting explicit parallelism beyond the free tokens does
-// wait for a release). The budget governs the extraction stage,
-// the dominant cost; the briefer acquire/verify stages still use the
-// shared runtime at machine width (making every stage budget-aware is
-// a ROADMAP follow-up). Jobs run the chordal.Pipeline under the
-// server's base context — shutdown cancels every in-flight extraction
-// at its next iteration boundary.
+// wait for a release). The lease is threaded through every pipeline
+// stage — acquire (generation and file decode), relabel, the
+// extraction kernel (whole-graph or per-shard), and subgraph
+// materialization all run inside the granted width, so concurrent jobs
+// never oversubscribe the box. Each job runs the chordal.Pipeline
+// under its own context derived from the server's base context:
+// shutdown cancels every in-flight extraction at its next iteration
+// boundary, and DELETE /v1/jobs/{id} cancels one job the same way,
+// releasing its budget tokens as its goroutine drains.
 //
 // Jobs are identified by a canonical spec: generator sources are
 // normalized (family lowercased, defaults filled) and uploads are
@@ -39,7 +47,14 @@
 // canonical source (the benchmark and bio-suite shapes regenerate the
 // same specs constantly), and completed extractions are cached by the
 // full job key, so a repeated spec is served instantly with
-// Cached: true in its status.
+// Cached: true in its status. A result-cache hit returns the job that
+// produced the result (or one persistent born-done job if that one was
+// garbage collected) rather than registering a new job per request,
+// and identical cacheable specs submitted while the first is still
+// running are deduplicated onto that single in-flight execution
+// (single-flight), so a stampede of equal requests costs one pipeline
+// run and one job id. Terminal jobs are garbage collected
+// Config.JobTTL after finishing, keeping the job store bounded.
 //
 // Every job keeps an append-only event log; the SSE endpoint replays it
 // from the start and then follows live appends, so a subscriber that
@@ -90,10 +105,19 @@ type Config struct {
 	// contents and parseable graphs are downloadable via /result).
 	// Enable only for trusted single-tenant deployments.
 	AllowPathSources bool
+	// JobTTL is how long a terminal (done, failed, canceled) job stays
+	// in the store after finishing before the GC sweep removes it; 0
+	// means 15 minutes, negative disables GC. Cached results outlive
+	// their job: a later cache hit re-registers one born-done job.
+	JobTTL time.Duration
 }
 
-// cachedResult is one completed extraction in the result LRU.
+// cachedResult is one completed extraction in the result LRU. jobID is
+// the job whose status a cache hit returns — the producing job, or a
+// born-done replacement registered after the producer was garbage
+// collected; it is read and written under Server.mu.
 type cachedResult struct {
+	jobID    string
 	metrics  Metrics
 	subgraph *graph.Graph
 }
@@ -114,6 +138,10 @@ type Server struct {
 	closed bool
 	jobs   map[string]*Job
 	seq    int
+	// inflight maps a cacheable job key to its currently executing job,
+	// the single-flight table: identical concurrent submissions attach
+	// to the entry instead of running the pipeline again.
+	inflight map[string]*Job
 
 	inputs  *lruCache[*graph.Graph]
 	results *lruCache[*cachedResult]
@@ -133,28 +161,78 @@ func New(cfg Config) *Server {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 256 << 20
 	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
 	budget := parallel.NewBudget(cfg.Workers)
 	if cfg.MaxConcurrent > budget.Total() {
 		cfg.MaxConcurrent = budget.Total()
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		budget:  budget,
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		baseCtx: ctx,
-		stop:    stop,
-		jobs:    make(map[string]*Job),
-		inputs:  newLRU[*graph.Graph](cfg.InputCacheEntries),
-		results: newLRU[*cachedResult](cfg.ResultCacheEntries),
+		cfg:      cfg,
+		budget:   budget,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:  ctx,
+		stop:     stop,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		inputs:   newLRU[*graph.Graph](cfg.InputCacheEntries),
+		results:  newLRU[*cachedResult](cfg.ResultCacheEntries),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.JobTTL > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
 	return s
+}
+
+// gcLoop periodically sweeps terminal jobs older than JobTTL out of
+// the store. It exits when the server closes.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.JobTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.gcSweep(time.Now())
+		}
+	}
+}
+
+// gcSweep removes every terminal job that finished more than JobTTL
+// before now, returning how many were removed. Queued and running jobs
+// are never touched; a swept job's cached result (if any) stays in the
+// LRU and a later hit re-registers one born-done job.
+func (s *Server) gcSweep(now time.Time) int {
+	cutoff := now.Add(-s.cfg.JobTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for id, j := range s.jobs {
+		if j.terminalBefore(cutoff) {
+			delete(s.jobs, id)
+			removed++
+		}
+	}
+	return removed
 }
 
 // ServeHTTP implements http.Handler.
@@ -280,37 +358,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // submit registers a job for spec, serving it from the result cache
-// when possible; otherwise the job is queued on the run semaphore. The
+// when possible and deduplicating onto an identical in-flight job
+// otherwise; only a genuinely new spec queues a fresh execution. The
 // returned bool reports a cache hit; the error is errShuttingDown when
 // the server is closing.
 func (s *Server) submit(spec jobSpec, upload *graph.Graph) (*Job, bool, error) {
-	if job, ok := s.tryCached(spec); ok {
-		return job, true, nil
-	}
-	job := newJob(s.nextID(), spec, time.Now())
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return nil, false, errShuttingDown
 	}
+	key := spec.Key()
+	if spec.cacheable() {
+		// Single-flight: an identical cacheable spec already executing
+		// absorbs this submission — the caller shares its job id,
+		// events and result instead of stampeding the pipeline.
+		//
+		// The inflight check MUST precede the cache probe: the runner
+		// publishes to the result cache first and deletes its inflight
+		// entry second (under this same lock), so a submission that
+		// misses the inflight map is guaranteed to see the result in
+		// the cache — missing both, and re-running the pipeline, is
+		// impossible.
+		if j, ok := s.inflight[key]; ok {
+			return j, false, nil
+		}
+	}
+	if job, ok := s.tryCachedLocked(spec); ok {
+		return job, true, nil
+	}
+	job := newJob(s.nextIDLocked(), spec, time.Now())
+	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
 	s.jobs[job.ID()] = job
+	if spec.cacheable() {
+		s.inflight[key] = job
+	}
 	s.wg.Add(1)
-	s.mu.Unlock()
 	go s.run(job, upload)
 	return job, false, nil
 }
 
-// nextID allocates a job identifier.
-func (s *Server) nextID() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// nextIDLocked allocates a job identifier; callers hold s.mu.
+func (s *Server) nextIDLocked() string {
 	s.seq++
 	return fmt.Sprintf("j%06d", s.seq)
 }
 
-// tryCached serves spec from the result cache when possible,
-// registering a born-done job marked cached.
+// tryCached serves spec from the result cache when possible. A hit
+// returns the job that produced the cached result while it is still in
+// the store; once that job has been garbage collected, one born-done
+// job is registered and pinned to the cache entry, so repeated hits
+// reuse a single job id instead of minting one per request.
 func (s *Server) tryCached(spec jobSpec) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tryCachedLocked(spec)
+}
+
+// tryCachedLocked is tryCached with s.mu held (the LRU has its own
+// lock and never takes s.mu, so probing it here cannot deadlock).
+func (s *Server) tryCachedLocked(spec jobSpec) (*Job, bool) {
 	if !spec.cacheable() {
 		return nil, false
 	}
@@ -319,7 +426,10 @@ func (s *Server) tryCached(spec jobSpec) (*Job, bool) {
 		return nil, false
 	}
 	now := time.Now()
-	job := newJob(s.nextID(), spec, now)
+	if j, ok := s.jobs[hit.jobID]; ok {
+		return j, true
+	}
+	job := newJob(s.nextIDLocked(), spec, now)
 	job.cached = true
 	// A born-done job never ran, but clients compute durations from
 	// started/finished; stamp both with the submission instant (the
@@ -327,15 +437,9 @@ func (s *Server) tryCached(spec jobSpec) (*Job, bool) {
 	job.started = now
 	m := hit.metrics
 	job.complete(now, &m, hit.subgraph)
-	s.register(job)
-	return job, true
-}
-
-// register adds the job to the store.
-func (s *Server) register(job *Job) {
-	s.mu.Lock()
+	hit.jobID = job.ID()
 	s.jobs[job.ID()] = job
-	s.mu.Unlock()
+	return job, true
 }
 
 // lookup finds a job by id.
@@ -374,14 +478,28 @@ func parseUpload(format string, r io.Reader) (*graph.Graph, error) {
 // run executes one job: wait for a semaphore slot, lease workers from
 // the shared budget, resolve the input (upload, input cache, generator,
 // or file), run the pipeline with progress events, and publish the
-// result to the caches.
+// result to the caches. It runs under the job's own context, so both
+// server shutdown and DELETE /v1/jobs/{id} drain it at the next
+// boundary — releasing the semaphore slot, the budget lease, and the
+// single-flight entry on every exit path.
 func (s *Server) run(job *Job, upload *graph.Graph) {
 	defer s.wg.Done()
+	defer job.cancel()
+	// The single-flight entry must outlive the result-cache publish
+	// (which happens in the body, before defers run): a duplicate
+	// submission always finds the key in at least one of the two.
+	defer func() {
+		s.mu.Lock()
+		if s.inflight[job.spec.Key()] == job {
+			delete(s.inflight, job.spec.Key())
+		}
+		s.mu.Unlock()
+	}()
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
-	case <-s.baseCtx.Done():
-		job.fail(time.Now(), s.baseCtx.Err())
+	case <-job.ctx.Done():
+		job.fail(time.Now(), job.ctx.Err())
 		return
 	}
 
@@ -400,7 +518,13 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 	if want <= 0 {
 		want = max(1, s.budget.Total()/s.cfg.MaxConcurrent)
 	}
-	granted := s.budget.Lease(want)
+	granted, err := s.budget.LeaseContext(job.ctx, want)
+	if err != nil {
+		// Canceled while waiting for tokens: nothing was leased, so
+		// nothing leaks.
+		job.fail(time.Now(), err)
+		return
+	}
 	defer s.budget.Release(granted)
 	job.setRunning(time.Now())
 
@@ -409,15 +533,25 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 	p.OnStage = func(stage string) {
 		job.appendEvent("stage", map[string]string{"stage": stage})
 	}
-	p.OnIteration = func(it chordal.IterationStats) {
-		job.appendEvent("iteration", map[string]any{
+	iterationEvent := func(it chordal.IterationStats) map[string]any {
+		return map[string]any{
 			"index":          it.Index,
 			"queueSize":      it.QueueSize,
 			"edgesTested":    it.EdgesTested,
 			"edgesAccepted":  it.EdgesAccepted,
 			"scanWork":       it.ScanWork,
 			"durationMillis": float64(it.Duration.Microseconds()) / 1000,
-		})
+		}
+	}
+	p.OnIteration = func(it chordal.IterationStats) {
+		job.appendEvent("iteration", iterationEvent(it))
+	}
+	p.OnShardIteration = func(shard int, it chordal.IterationStats) {
+		// Shards report concurrently; appendEvent serializes under the
+		// job lock, so the SSE log stays consistent.
+		ev := iterationEvent(it)
+		ev["shard"] = shard
+		job.appendEvent("iteration", ev)
 	}
 
 	// Resolve the input ahead of the pipeline when it can come from the
@@ -433,7 +567,7 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 			p.Input = g
 			job.appendEvent("stage", map[string]any{"stage": "acquire", "cached": true})
 		} else {
-			if err := s.baseCtx.Err(); err != nil {
+			if err := job.ctx.Err(); err != nil {
 				job.fail(time.Now(), err)
 				return
 			}
@@ -444,7 +578,10 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 			}
 			p.OnStage("acquire")
 			t0 := time.Now()
-			g, err := src.Load()
+			// Generation honors the job's lease; the sampled graph is
+			// identical at any width, so caching it by canonical spec
+			// stays sound.
+			g, err := src.LoadWorkers(granted)
 			if err != nil {
 				job.fail(time.Now(), err)
 				return
@@ -455,7 +592,7 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 		}
 	}
 
-	res, err := p.RunContext(s.baseCtx)
+	res, err := p.RunContext(job.ctx)
 	if err != nil {
 		job.fail(time.Now(), err)
 		return
@@ -463,8 +600,28 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 	m := buildMetrics(res, granted, acquire)
 	job.complete(time.Now(), m, res.Subgraph)
 	if job.spec.cacheable() {
-		s.results.Add(job.spec.Key(), &cachedResult{metrics: *m, subgraph: res.Subgraph})
+		s.results.Add(job.spec.Key(), &cachedResult{jobID: job.ID(), metrics: *m, subgraph: res.Subgraph})
 	}
+}
+
+// handleCancel serves DELETE /v1/jobs/{id}: a queued or running job is
+// marked for cancellation and its context fired; the job goroutine
+// drains at the next iteration boundary into the terminal canceled
+// state, releasing its semaphore slot and budget tokens. Cancelling an
+// already terminal job is a 409.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	if !job.requestCancel() {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("service: job %s is already %s", job.ID(), job.Status().State))
+		return
+	}
+	job.cancel()
+	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
 // handleStatus serves GET /v1/jobs/{id}.
@@ -564,6 +721,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	total := len(s.jobs)
+	inflight := len(s.inflight)
 	counts := map[string]int{}
 	for _, j := range s.jobs {
 		counts[j.Status().State]++
@@ -576,6 +734,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"running":       counts[StateRunning],
 		"done":          counts[StateDone],
 		"failed":        counts[StateFailed],
+		"canceled":      counts[StateCanceled],
+		"inflight":      inflight,
 		"workers":       s.budget.Total(),
 		"maxConcurrent": s.cfg.MaxConcurrent,
 		"inputCache":    s.inputs.Len(),

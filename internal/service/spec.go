@@ -47,6 +47,15 @@ type JobOptions struct {
 	Repair bool `json:"repair,omitempty"`
 	// Stitch enables the component stitch post-pass.
 	Stitch bool `json:"stitch,omitempty"`
+	// Shards > 0 runs sharded extraction: the kernel runs per
+	// contiguous vertex-range shard inside the job's worker lease and
+	// border edges are reconciled with a chordality-preserving stitch
+	// (see DESIGN.md §7). 0 (the default) extracts the whole graph in
+	// one kernel.
+	Shards int `json:"shards,omitempty"`
+	// ShardStitchOnly restricts border reconciliation to the spanning
+	// stitch. Ignored (and canonicalized away) unless Shards > 0.
+	ShardStitchOnly bool `json:"shardStitchOnly,omitempty"`
 	// Verify runs the chordality check (and maximality audit on small
 	// inputs) on the result; omitted means true.
 	Verify *bool `json:"verify,omitempty"`
@@ -56,15 +65,17 @@ type JobOptions struct {
 // identity plus resolved option enums. Equal jobSpecs produce the same
 // Key regardless of how the request spelled them.
 type jobSpec struct {
-	source    string // canonical Source spec, or "upload:<sha256>" for uploads
-	generated bool   // source is a deterministic generator spec
-	variant   chordal.Variant
-	schedule  chordal.Schedule
-	relabel   chordal.RelabelMode
-	workers   int
-	repair    bool
-	stitch    bool
-	verify    bool
+	source          string // canonical Source spec, or "upload:<sha256>" for uploads
+	generated       bool   // source is a deterministic generator spec
+	variant         chordal.Variant
+	schedule        chordal.Schedule
+	relabel         chordal.RelabelMode
+	workers         int
+	repair          bool
+	stitch          bool
+	verify          bool
+	shards          int
+	shardStitchOnly bool
 }
 
 // normalizeOptions resolves the wire options to their canonical enum
@@ -88,6 +99,13 @@ func normalizeOptions(o JobOptions) (jobSpec, error) {
 	spec.repair = o.Repair
 	spec.stitch = o.Stitch
 	spec.verify = o.Verify == nil || *o.Verify
+	if o.Shards < 0 {
+		return spec, fmt.Errorf("service: shards %d must be >= 0", o.Shards)
+	}
+	spec.shards = o.Shards
+	// ShardStitchOnly has no effect without sharding; canonicalize it
+	// away so {"shardStitchOnly":true} alone does not split identity.
+	spec.shardStitchOnly = o.ShardStitchOnly && o.Shards > 0
 	return spec, nil
 }
 
@@ -147,8 +165,9 @@ func (s jobSpec) cacheable() bool {
 // same spec at a different parallelism is still a cache hit.
 func (s jobSpec) Key() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "src=%s;variant=%s;schedule=%s;relabel=%d;repair=%t;stitch=%t;verify=%t",
-		s.source, s.variant, s.schedule, s.relabel, s.repair, s.stitch, s.verify)
+	fmt.Fprintf(h, "src=%s;variant=%s;schedule=%s;relabel=%d;repair=%t;stitch=%t;verify=%t;shards=%d;shardstitchonly=%t",
+		s.source, s.variant, s.schedule, s.relabel, s.repair, s.stitch, s.verify,
+		s.shards, s.shardStitchOnly)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
@@ -156,9 +175,11 @@ func (s jobSpec) Key() string {
 // wires Input, OnStage and OnIteration before running.
 func (s jobSpec) Pipeline() chordal.Pipeline {
 	return chordal.Pipeline{
-		Source:  s.source,
-		Relabel: s.relabel,
-		Extract: true,
+		Source:          s.source,
+		Relabel:         s.relabel,
+		Extract:         true,
+		Shards:          s.shards,
+		ShardStitchOnly: s.shardStitchOnly,
 		Options: chordal.Options{
 			Variant:          s.variant,
 			Schedule:         s.schedule,

@@ -18,10 +18,10 @@ func specKey(t *testing.T, req JobRequest) string {
 func TestCanonicalKeySourceSpellings(t *testing.T) {
 	base := specKey(t, JobRequest{Source: "rmat-er:12"})
 	for _, spelled := range []string{
-		"RMAT-ER:12",       // case-insensitive family
-		"rmat-er:12:42",    // default seed spelled out
-		"rmat-er:12:42:8",  // default seed and edge factor spelled out
-		" rmat-er:12 ",     // surrounding whitespace
+		"RMAT-ER:12",      // case-insensitive family
+		"rmat-er:12:42",   // default seed spelled out
+		"rmat-er:12:42:8", // default seed and edge factor spelled out
+		" rmat-er:12 ",    // surrounding whitespace
 		"\trmat-er:12:42\n",
 	} {
 		if got := specKey(t, JobRequest{Source: spelled}); got != base {
@@ -72,6 +72,9 @@ func TestCanonicalKeyOptionSpellings(t *testing.T) {
 		{Source: "gnm:1000:5000", Options: JobOptions{Schedule: "sync"}},
 		{Source: "gnm:1000:5000", Options: JobOptions{Variant: "unopt"}},
 		{Source: "gnm:1000:5000", Options: JobOptions{Verify: &off}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Shards: 2}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Shards: 8}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Shards: 8, ShardStitchOnly: true}},
 	}
 	seen := map[string]int{keys[0]: -1}
 	for i, req := range variants {
@@ -80,6 +83,21 @@ func TestCanonicalKeyOptionSpellings(t *testing.T) {
 			t.Errorf("variant %d collides with %d: key %s", i, prev, k)
 		}
 		seen[k] = i
+	}
+}
+
+// TestShardStitchOnlyCanonicalized pins the identity rule: stitch-only
+// without sharding is meaningless and must not split the cache key.
+func TestShardStitchOnlyCanonicalized(t *testing.T) {
+	plain := specKey(t, JobRequest{Source: "gnm:1000:5000"})
+	noop := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{ShardStitchOnly: true}})
+	if plain != noop {
+		t.Errorf("shardStitchOnly without shards split the key: %s vs %s", plain, noop)
+	}
+	a := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{Shards: 4}})
+	b := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{Shards: 4, ShardStitchOnly: true}})
+	if a == b {
+		t.Error("shardStitchOnly with shards must change the key")
 	}
 }
 
@@ -92,6 +110,7 @@ func TestCanonicalKeyRejectsBadSpecs(t *testing.T) {
 		{Source: "gnm:1000:5000", Options: JobOptions{Variant: "fast"}},
 		{Source: "gnm:1000:5000", Options: JobOptions{Schedule: "eventually"}},
 		{Source: "gnm:1000:5000", Options: JobOptions{Relabel: "random"}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Shards: -1}},
 	} {
 		if _, err := newJobSpec(req, false); err == nil {
 			t.Errorf("newJobSpec(%+v): want error", req)

@@ -1,0 +1,421 @@
+// Package shard implements sharded extraction: Algorithm 1 runs
+// independently on vertex-range shards of the input, and the per-shard
+// chordal subgraphs are reconciled into one chordal subgraph of the
+// whole graph. This is the architectural step toward inputs larger
+// than one node's memory — each shard's extraction touches only the
+// shard-induced subgraph, so the full worklist state never needs to be
+// resident at once.
+//
+// # Reconciliation
+//
+// The input is partitioned with internal/partition's contiguous-range
+// part assignment. Edges interior to a shard are decided by that
+// shard's own run of core.ExtractContext; edges whose endpoints lie in
+// different shards (border edges) are never seen by any kernel and are
+// reconciled afterwards in two chordality-preserving passes:
+//
+//  1. Spanning stitch: a union-find over the merged interior edge sets
+//     admits any original edge joining two distinct components. Such an
+//     edge is a bridge of the result, a bridge lies on no cycle, so no
+//     chordless cycle can appear (the generalization of the paper's
+//     remark below Theorem 2 that core.stitchComponents already uses).
+//  2. Border admission (skipped under StitchOnly): each remaining
+//     border edge {u, v} is tested with the exact dynamic-chordal-graph
+//     separator criterion (verify.CanAddEdge) against the merged
+//     subgraph built so far — the admit-if-it-closes-a-triangle idea of
+//     the distributed baseline in internal/partition, but with the
+//     exact criterion, so chordality is preserved by construction
+//     instead of repaired by a cycle-elimination pass afterwards.
+//
+// Both passes are sequential scans in a deterministic edge order, and
+// the per-shard kernels run the schedule-independent dataflow
+// discipline, so the merged edge set is byte-identical across worker
+// counts. See DESIGN.md §7 for the proof sketch and the maximality
+// trade-off.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"chordal/internal/core"
+	"chordal/internal/graph"
+	"chordal/internal/parallel"
+	"chordal/internal/partition"
+	"chordal/internal/verify"
+)
+
+// Options configures a sharded extraction. Shards is the only required
+// field; the zero value of everything else mirrors core.Options
+// defaults.
+type Options struct {
+	// Shards is the number of contiguous vertex-range shards; it is
+	// clamped to [1, NumVertices]. One shard degenerates to a plain
+	// core extraction (no border edges exist).
+	Shards int
+	// Core configures the per-shard extraction kernels. Core.Workers is
+	// the total worker budget for the whole sharded run — shards run
+	// concurrently and divide it, so a budget-leased job never exceeds
+	// its lease no matter how many shards it asked for. Core.Schedule
+	// should stay ScheduleDataflow when byte-identical output across
+	// worker counts matters.
+	Core core.Options
+	// StitchOnly restricts border reconciliation to the spanning
+	// stitch: only bridges join the merged subgraph and all other
+	// border edges are dropped. This is the cheapest reconciliation and
+	// the one whose output is most directly comparable across shard
+	// counts; the default additionally admits border edges that provably
+	// keep the subgraph chordal.
+	StitchOnly bool
+	// Repair runs a final exact repair pass over every absent original
+	// edge (interior and border) until none can be added, closing both
+	// the §5 maximality gap and the sharding gap. Cost grows with the
+	// number of absent edges; intended for small graphs and validation.
+	Repair bool
+	// OnShardIteration, when non-nil, receives each shard's iteration
+	// statistics as they complete. Shards extract concurrently, so it
+	// may be invoked concurrently for different shards; the service
+	// layer serializes the events it emits from this hook.
+	OnShardIteration func(shard int, it core.IterationStats)
+}
+
+// ShardStat describes one shard's extraction.
+type ShardStat struct {
+	// Shard is the shard index in [0, Shards).
+	Shard int
+	// Vertices is the shard's vertex-range size.
+	Vertices int
+	// InteriorEdges is the number of input edges interior to the shard
+	// (both endpoints inside it).
+	InteriorEdges int64
+	// ChordalEdges is the size of the shard kernel's chordal edge set.
+	ChordalEdges int
+	// Iterations is the shard kernel's while-loop iteration count.
+	Iterations int
+	// Duration is the shard kernel's wall-clock time.
+	Duration time.Duration
+}
+
+// Result is the merged outcome of a sharded extraction.
+type Result struct {
+	// NumVertices is the vertex count of the input graph.
+	NumVertices int
+	// Edges is the merged chordal edge set (U < V, sorted).
+	Edges []core.Edge
+	// Subgraph is the merged chordal subgraph materialized as a graph.
+	Subgraph *graph.Graph
+	// Shards holds one entry per shard in index order.
+	Shards []ShardStat
+	// BorderTotal is the number of input edges crossing shards.
+	BorderTotal int
+	// StitchedEdges counts edges admitted by the spanning stitch;
+	// BorderBridges is the subset of them that cross shards (the rest
+	// reconnect components split within a shard by the §5 gap).
+	StitchedEdges int
+	BorderBridges int
+	// BorderAdmitted counts border edges admitted by the exact
+	// chordality-preserving pass (0 under StitchOnly).
+	BorderAdmitted int
+	// RepairedEdges counts edges added by the optional Repair pass.
+	RepairedEdges int
+	// Chordal is the internal/verify chordality check of the merged
+	// subgraph; it must always be true and exists as a self-check of
+	// the reconciliation argument.
+	Chordal bool
+	// Total is the wall-clock time of the whole sharded extraction.
+	Total time.Duration
+}
+
+// NumChordalEdges returns the merged chordal edge count.
+func (r *Result) NumChordalEdges() int { return len(r.Edges) }
+
+// Extract runs a sharded extraction with a background context.
+func Extract(g *graph.Graph, opts Options) (*Result, error) {
+	return ExtractContext(context.Background(), g, opts)
+}
+
+// ExtractContext runs a sharded extraction under ctx: partition the
+// vertex range, extract per shard concurrently within the worker
+// budget, reconcile border edges, and verify the merged subgraph.
+// Cancellation is observed between shards' iterations and between the
+// merge phases; the first error returned after cancellation is
+// ctx.Err(), with no goroutines left behind.
+func ExtractContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	start := time.Now()
+	n := g.NumVertices()
+	parts := 1
+	if n > 0 {
+		parts = partition.ClampParts(n, opts.Shards)
+	}
+	workers := parallel.WorkerCount(opts.Core.Workers)
+	conc := parts
+	if conc > workers {
+		conc = workers
+	}
+	perShard := workers / conc
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	res := &Result{NumVertices: n, Shards: make([]ShardStat, parts)}
+
+	// Per-shard kernels. The per-shard options disable the kernel's own
+	// post-passes: stitching and repair are global decisions made after
+	// the merge, where the reconciled edge set is known.
+	runShard := func(p int, sub *graph.Graph, remap func(int32) int32) ([]core.Edge, error) {
+		co := opts.Core
+		co.Workers = perShard
+		co.RepairMaximality = false
+		co.StitchComponents = false
+		co.OnEvent = nil
+		co.OnIteration = nil
+		if opts.OnShardIteration != nil {
+			co.OnIteration = func(it core.IterationStats) {
+				opts.OnShardIteration(p, it)
+			}
+		}
+		r, err := core.ExtractContext(ctx, sub, co)
+		if err != nil {
+			return nil, err
+		}
+		edges := make([]core.Edge, len(r.Edges))
+		for i, e := range r.Edges {
+			edges[i] = core.Edge{U: remap(e.U), V: remap(e.V)}
+		}
+		res.Shards[p] = ShardStat{
+			Shard:         p,
+			Vertices:      sub.NumVertices(),
+			InteriorEdges: sub.NumEdges(),
+			ChordalEdges:  len(r.Edges),
+			Iterations:    len(r.Iterations),
+			Duration:      r.Total,
+		}
+		return edges, nil
+	}
+
+	var (
+		shardEdges = make([][]core.Edge, parts)
+		errMu      sync.Mutex
+		firstErr   error
+	)
+	if parts == 1 {
+		// Single shard: the induced subgraph is the graph itself — skip
+		// the copy and run the kernel directly.
+		edges, err := runShard(0, g, func(v int32) int32 { return v })
+		if err != nil {
+			return nil, err
+		}
+		shardEdges[0] = edges
+	} else {
+		parallel.For(parts, conc, 1, func(_, p int) {
+			lo, hi := partition.Bounds(n, parts, p)
+			ids := make([]int32, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				ids = append(ids, v)
+			}
+			// The keep set is a contiguous ascending range, so local id
+			// i maps back to lo+i.
+			sub, _ := g.InducedSubgraph(ids)
+			edges, err := runShard(p, sub, func(v int32) int32 { return lo + v })
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			shardEdges[p] = edges
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	total := 0
+	for _, es := range shardEdges {
+		total += len(es)
+	}
+	res.Edges = make([]core.Edge, 0, total)
+	for _, es := range shardEdges {
+		res.Edges = append(res.Edges, es...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res.reconcile(ctx, g, parts, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sortEdges(res.Edges)
+	us := make([]int32, len(res.Edges))
+	vs := make([]int32, len(res.Edges))
+	for i, e := range res.Edges {
+		us[i], vs[i] = e.U, e.V
+	}
+	res.Subgraph = graph.SubgraphFromEdgesWorkers(n, us, vs, opts.Core.Workers)
+	res.Chordal = verify.IsChordal(res.Subgraph)
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// reconcile performs the border passes: spanning stitch, optional exact
+// border admission, and the optional full repair. It appends to
+// res.Edges and fills the border counters.
+func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opts Options) {
+	n := res.NumVertices
+	partOf := partition.PartOf(n, max(parts, 1))
+
+	// Pass 1 — spanning stitch. Seed the union-find with the merged
+	// interior edges, then admit any original edge bridging two
+	// components. Border edges that do not bridge are remembered for
+	// pass 2.
+	uf := core.NewUnionFind(n)
+	for _, e := range res.Edges {
+		uf.Union(e.U, e.V)
+	}
+	var deferred []core.Edge
+	g.Edges(func(u, v int32) {
+		border := parts > 1 && partOf(u) != partOf(v)
+		if border {
+			res.BorderTotal++
+		}
+		if uf.Find(u) != uf.Find(v) {
+			uf.Union(u, v)
+			res.Edges = append(res.Edges, core.Edge{U: u, V: v})
+			res.StitchedEdges++
+			if border {
+				res.BorderBridges++
+			}
+			return
+		}
+		if border {
+			deferred = append(deferred, core.Edge{U: u, V: v})
+		}
+	})
+
+	if opts.StitchOnly && !opts.Repair {
+		return
+	}
+	if ctx.Err() != nil {
+		return
+	}
+
+	// Passes 2 and 3 share a mutable adjacency of the merged subgraph.
+	adj := make([][]int32, n)
+	for _, e := range res.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	scratch := make([]int32, n)
+	admit := func(u, v int32) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		res.Edges = append(res.Edges, core.Edge{U: u, V: v})
+	}
+
+	// After pass 1 every candidate's endpoints lie in one component
+	// (they are adjacent in g, and the spanning stitch unioned
+	// everything g connects), so the separator criterion can only
+	// admit an edge whose endpoints share a chordal neighbor — an
+	// empty N(u) ∩ N(v) cannot separate connected vertices. Rejecting
+	// on that cheap triangle-style intersection first (the merge-scan
+	// idea of partition.closesTriangle) skips the exact check's BFS
+	// for the vast majority of border edges, which would otherwise
+	// walk most of the merged graph per rejection.
+	candidate := func(u, v int32) bool {
+		return hasCommonNeighbor(adj, u, v, scratch)
+	}
+
+	// Pass 2 — exact border admission in deterministic order. The
+	// exact check can walk a large part of the merged graph per edge,
+	// so cancellation is observed every few hundred edges: a canceled
+	// job must release its budget tokens promptly, not after the whole
+	// border drains.
+	if !opts.StitchOnly {
+		for i, e := range deferred {
+			if i%256 == 0 && ctx.Err() != nil {
+				return
+			}
+			if candidate(e.U, e.V) && verify.CanAddEdge(adj, e.U, e.V, scratch) {
+				admit(e.U, e.V)
+				res.BorderAdmitted++
+			}
+		}
+	}
+
+	// Pass 3 — optional full repair to maximality, the merged analogue
+	// of core's RepairMaximality post-pass.
+	if opts.Repair {
+		present := make(map[int64]bool, len(res.Edges))
+		for _, e := range res.Edges {
+			present[int64(e.U)<<32|int64(e.V)] = true
+		}
+		scanned, aborted := 0, false
+		for changed := true; changed && !aborted; {
+			changed = false
+			g.Edges(func(u, v int32) {
+				if aborted {
+					return
+				}
+				if scanned++; scanned%1024 == 0 && ctx.Err() != nil {
+					aborted = true
+					return
+				}
+				if present[int64(u)<<32|int64(v)] {
+					return
+				}
+				if !candidate(u, v) || !verify.CanAddEdge(adj, u, v, scratch) {
+					return
+				}
+				admit(u, v)
+				present[int64(u)<<32|int64(v)] = true
+				res.RepairedEdges++
+				changed = true
+			})
+		}
+	}
+}
+
+// hasCommonNeighbor reports whether u and v share a neighbor in adj,
+// marking the smaller list in scratch (restored to zero before
+// returning, so callers can interleave it with verify.CanAddEdge's use
+// of the same scratch).
+func hasCommonNeighbor(adj [][]int32, u, v int32, scratch []int32) bool {
+	if len(adj[u]) > len(adj[v]) {
+		u, v = v, u
+	}
+	for _, x := range adj[u] {
+		scratch[x] = 1
+	}
+	found := false
+	for _, x := range adj[v] {
+		if scratch[x] == 1 {
+			found = true
+			break
+		}
+	}
+	for _, x := range adj[u] {
+		scratch[x] = 0
+	}
+	return found
+}
+
+// sortEdges orders edges by (U, V), the canonical order every
+// extraction result uses.
+func sortEdges(edges []core.Edge) {
+	slices.SortFunc(edges, func(a, b core.Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
+		}
+		return int(a.V) - int(b.V)
+	})
+}

@@ -18,10 +18,22 @@ import (
 	"chordal/internal/xrand"
 )
 
+// workerArg resolves the optional trailing workers argument the
+// generators accept: the bound for parallel construction phases, with
+// 0 (or omitted) meaning machine width. The sampled edge set never
+// depends on it.
+func workerArg(workers []int) int {
+	if len(workers) > 0 {
+		return workers[0]
+	}
+	return 0
+}
+
 // GNM returns a uniform random simple graph with n vertices and m
 // distinct edges (Erdős–Rényi G(n,m)). It panics if m exceeds the
-// number of possible edges.
-func GNM(n int, m int64, seed uint64) *graph.Graph {
+// number of possible edges. An optional trailing workers argument
+// bounds the parallel CSR construction (0 or omitted = machine width).
+func GNM(n int, m int64, seed uint64, workers ...int) *graph.Graph {
 	max := int64(n) * int64(n-1) / 2
 	if m > max {
 		panic(fmt.Sprintf("synth: GNM m=%d exceeds %d possible edges", m, max))
@@ -47,15 +59,16 @@ func GNM(n int, m int64, seed uint64) *graph.Graph {
 		us = append(us, u)
 		vs = append(vs, v)
 	}
-	return graph.BuildFromEdges(n, us, vs)
+	return graph.BuildFromEdgesWorkers(n, us, vs, workerArg(workers))
 }
 
 // WattsStrogatz returns a small-world graph: a ring lattice where each
 // vertex connects to its k nearest neighbors on each side, with every
 // edge's far endpoint rewired uniformly at random with probability
 // beta. beta=0 is the lattice, beta=1 nearly random; intermediate
-// values give the high-clustering short-path regime.
-func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+// values give the high-clustering short-path regime. An optional
+// trailing workers argument bounds the parallel CSR construction.
+func WattsStrogatz(n, k int, beta float64, seed uint64, workers ...int) *graph.Graph {
 	if k < 1 || 2*k >= n {
 		panic("synth: WattsStrogatz requires 1 <= k < n/2")
 	}
@@ -77,15 +90,16 @@ func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
 			vs = append(vs, int32(w))
 		}
 	}
-	return graph.BuildFromEdges(n, us, vs)
+	return graph.BuildFromEdgesWorkers(n, us, vs, workerArg(workers))
 }
 
 // RandomGeometric returns a random geometric graph: n points uniform in
 // the unit square, an edge whenever two points lie within radius.
 // Bucketing by a radius-sized grid keeps construction near-linear for
 // sparse regimes. These mesh-like graphs are the classic "easy to
-// partition" counterpoint to the paper's scale-free inputs.
-func RandomGeometric(n int, radius float64, seed uint64) *graph.Graph {
+// partition" counterpoint to the paper's scale-free inputs. An optional
+// trailing workers argument bounds the parallel scan and construction.
+func RandomGeometric(n int, radius float64, seed uint64, workers ...int) *graph.Graph {
 	if radius <= 0 || radius > 1 {
 		panic("synth: RandomGeometric radius out of (0,1]")
 	}
@@ -112,10 +126,13 @@ func RandomGeometric(n int, radius float64, seed uint64) *graph.Graph {
 	// parallelizes over points into per-worker edge buffers; the final
 	// graph is schedule-independent because the CSR build canonicalizes
 	// edge order.
-	workers := parallel.WorkersFor(n, 1024)
-	bufs := parallel.NewEdgeBuffers(workers)
+	w := parallel.WorkersFor(n, 1024)
+	if bound := workerArg(workers); bound > 0 && w > bound {
+		w = bound
+	}
+	bufs := parallel.NewEdgeBuffers(w)
 	r2 := radius * radius
-	parallel.For(n, workers, 256, func(worker, i int) {
+	parallel.For(n, w, 256, func(worker, i int) {
 		c := cellOf(i)
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
@@ -133,7 +150,7 @@ func RandomGeometric(n int, radius float64, seed uint64) *graph.Graph {
 		}
 	})
 	us, vs := bufs.Concat()
-	return graph.BuildFromEdges(n, us, vs)
+	return graph.BuildFromEdgesWorkers(n, us, vs, workerArg(workers))
 }
 
 // GeometricRadiusForDegree returns the radius that gives a random
@@ -147,8 +164,9 @@ func GeometricRadiusForDegree(n int, target float64) float64 {
 // repeatedly attaching a new vertex to a uniformly chosen existing
 // k-clique. k-trees are exactly the maximal graphs of treewidth k and
 // are chordal by construction; vertex ids follow construction order,
-// so ascending ids are a perfect elimination ordering in reverse.
-func KTree(n, k int, seed uint64) *graph.Graph {
+// so ascending ids are a perfect elimination ordering in reverse. An
+// optional trailing workers argument bounds the parallel construction.
+func KTree(n, k int, seed uint64, workers ...int) *graph.Graph {
 	if k < 1 || n < k+1 {
 		panic("synth: KTree requires 1 <= k and n >= k+1")
 	}
@@ -190,16 +208,17 @@ func KTree(n, k int, seed uint64) *graph.Graph {
 			cliques = append(cliques, cl)
 		}
 	}
-	return b.Build()
+	return b.BuildWorkers(workerArg(workers))
 }
 
 // KTreePlusNoise returns a k-tree with extra additional uniform random
 // edges, along with the number of planted (k-tree) edges. The planted
 // chordal subgraph gives a lower bound on the maximum chordal subgraph
 // of the noisy graph, making these instances useful quality yardsticks
-// for extraction heuristics.
-func KTreePlusNoise(n, k int, extra int64, seed uint64) (*graph.Graph, int64) {
-	base := KTree(n, k, seed)
+// for extraction heuristics. An optional trailing workers argument
+// bounds the parallel construction.
+func KTreePlusNoise(n, k int, extra int64, seed uint64, workers ...int) (*graph.Graph, int64) {
+	base := KTree(n, k, seed, workers...)
 	planted := base.NumEdges()
 	rng := xrand.NewXoshiro256(seed ^ 0x9e3779b97f4a7c15)
 	us, vs := base.EdgeList()
@@ -214,5 +233,5 @@ func KTreePlusNoise(n, k int, extra int64, seed uint64) (*graph.Graph, int64) {
 		vs = append(vs, v)
 		added++
 	}
-	return graph.BuildFromEdges(n, us, vs), planted
+	return graph.BuildFromEdgesWorkers(n, us, vs, workerArg(workers)), planted
 }

@@ -15,6 +15,7 @@ import (
 	"chordal/internal/graph"
 	"chordal/internal/partition"
 	"chordal/internal/rmat"
+	"chordal/internal/shard"
 	"chordal/internal/synth"
 	"chordal/internal/verify"
 )
@@ -48,7 +49,7 @@ type Source struct {
 	spec      string
 	canon     string
 	generated bool
-	load      func() (*Graph, error)
+	load      func(workers int) (*Graph, error)
 }
 
 // String returns the spec the source was parsed from.
@@ -67,12 +68,21 @@ func (s Source) Canonical() string { return s.canon }
 // between loads.
 func (s Source) Generated() bool { return s.generated }
 
-// Load acquires the graph (reading or generating it).
+// Load acquires the graph (reading or generating it) at machine width.
 func (s Source) Load() (*Graph, error) {
+	return s.LoadWorkers(0)
+}
+
+// LoadWorkers acquires the graph with the parallel parts of reading or
+// generating bounded to the given worker count (<= 0 means machine
+// width). Generated graphs are identical whatever the bound — sampling
+// runs on fixed PRNG streams — so caching by Canonical stays sound
+// while each service job loads inside its own budget lease.
+func (s Source) LoadWorkers(workers int) (*Graph, error) {
 	if s.load == nil {
 		return nil, fmt.Errorf("chordal: empty source")
 	}
-	return s.load()
+	return s.load(workers)
 }
 
 // SourceSpecs documents the generator spec grammar understood by
@@ -136,9 +146,10 @@ func ParseSource(spec string) (Source, error) {
 			return Source{}, err
 		}
 		canon := fmt.Sprintf("%s:%d:%d:%d", head, scale, seed, edgeFactor)
-		return Source{spec, canon, true, func() (*Graph, error) {
+		return Source{spec, canon, true, func(workers int) (*Graph, error) {
 			p := rmat.PresetParams(preset, int(scale), uint64(seed))
 			p.EdgeFactor = int(edgeFactor)
+			p.Workers = workers
 			return rmat.Generate(p)
 		}}, nil
 
@@ -156,8 +167,10 @@ func ParseSource(spec string) (Source, error) {
 			return Source{}, err
 		}
 		canon := fmt.Sprintf("%s:%d:%d", head, downscale, seed)
-		return Source{spec, canon, true, func() (*Graph, error) {
-			return biogen.Generate(biogen.PresetParams(dataset, int(downscale), uint64(seed)))
+		return Source{spec, canon, true, func(workers int) (*Graph, error) {
+			p := biogen.PresetParams(dataset, int(downscale), uint64(seed))
+			p.Workers = workers
+			return biogen.Generate(p)
 		}}, nil
 
 	case "gnm":
@@ -177,8 +190,8 @@ func ParseSource(spec string) (Source, error) {
 			return Source{}, err
 		}
 		canon := fmt.Sprintf("gnm:%d:%d:%d", n, m, seed)
-		return Source{spec, canon, true, func() (*Graph, error) {
-			return synth.GNM(int(n), m, uint64(seed)), nil
+		return Source{spec, canon, true, func(workers int) (*Graph, error) {
+			return synth.GNM(int(n), m, uint64(seed), workers), nil
 		}}, nil
 
 	case "ws":
@@ -202,8 +215,8 @@ func ParseSource(spec string) (Source, error) {
 			return Source{}, err
 		}
 		canon := fmt.Sprintf("ws:%d:%d:%s:%d", n, k, strconv.FormatFloat(beta, 'g', -1, 64), seed)
-		return Source{spec, canon, true, func() (*Graph, error) {
-			return synth.WattsStrogatz(int(n), int(k), beta, uint64(seed)), nil
+		return Source{spec, canon, true, func(workers int) (*Graph, error) {
+			return synth.WattsStrogatz(int(n), int(k), beta, uint64(seed), workers), nil
 		}}, nil
 
 	case "geo":
@@ -223,8 +236,8 @@ func ParseSource(spec string) (Source, error) {
 			return Source{}, err
 		}
 		canon := fmt.Sprintf("geo:%d:%s:%d", n, strconv.FormatFloat(radius, 'g', -1, 64), seed)
-		return Source{spec, canon, true, func() (*Graph, error) {
-			return synth.RandomGeometric(int(n), radius, uint64(seed)), nil
+		return Source{spec, canon, true, func(workers int) (*Graph, error) {
+			return synth.RandomGeometric(int(n), radius, uint64(seed), workers), nil
 		}}, nil
 
 	case "ktree":
@@ -244,12 +257,14 @@ func ParseSource(spec string) (Source, error) {
 			return Source{}, err
 		}
 		canon := fmt.Sprintf("ktree:%d:%d:%d", n, k, seed)
-		return Source{spec, canon, true, func() (*Graph, error) {
-			return synth.KTree(int(n), int(k), uint64(seed)), nil
+		return Source{spec, canon, true, func(workers int) (*Graph, error) {
+			return synth.KTree(int(n), int(k), uint64(seed), workers), nil
 		}}, nil
 	}
 	// Anything else is a file path.
-	return Source{spec, filepath.Clean(spec), false, func() (*Graph, error) { return graph.LoadFile(spec) }}, nil
+	return Source{spec, filepath.Clean(spec), false, func(workers int) (*Graph, error) {
+		return graph.LoadFileWorkers(spec, workers)
+	}}, nil
 }
 
 // ParseVariant parses the CLI names of the extraction variants:
@@ -333,6 +348,18 @@ type Pipeline struct {
 	// Partitions > 0 replaces the parallel extraction with the
 	// distributed-style partitioned baseline (plus cycle cleanup).
 	Partitions int
+	// Shards > 0 replaces the whole-graph extraction with sharded
+	// extraction: Algorithm 1 runs per contiguous vertex-range shard
+	// (concurrently, inside Options.Workers) and border edges are
+	// reconciled with a chordality-preserving stitch. See
+	// internal/shard and DESIGN.md §7. Options (variant, schedule,
+	// repair) configure the per-shard kernels; Options.RepairMaximality
+	// maps to the merged repair pass.
+	Shards int
+	// ShardStitchOnly restricts border reconciliation to the spanning
+	// stitch (bridges only); the default additionally admits border
+	// edges that provably keep the merged subgraph chordal.
+	ShardStitchOnly bool
 	// Verify checks the extracted subgraph for chordality and, on
 	// small inputs, audits maximality.
 	Verify bool
@@ -348,6 +375,12 @@ type Pipeline struct {
 	// parallel extraction stage reports iterations; the serial and
 	// partitioned baselines do not.
 	OnIteration func(IterationStats)
+	// OnShardIteration, when non-nil, receives each shard kernel's
+	// iteration statistics during a sharded extraction (Shards > 0).
+	// Shards extract concurrently, so the callback may be invoked
+	// concurrently for different shards; the service layer serializes
+	// the SSE events it emits from this hook.
+	OnShardIteration func(shard int, it IterationStats)
 }
 
 // PartitionSummary reports the partitioned-baseline stage.
@@ -357,6 +390,34 @@ type PartitionSummary struct {
 	BorderAdmitted int
 	CleanupRemoved int
 	CleanupRounds  int
+}
+
+// ShardSummary reports the sharded extraction stage: how the input was
+// split, what each shard's kernel did, and how the border was
+// reconciled.
+type ShardSummary struct {
+	// Shards is the shard count actually used (after clamping).
+	Shards int
+	// PerShardIterations and PerShardEdges have one entry per shard:
+	// the kernel's iteration count and chordal edge count.
+	PerShardIterations []int
+	PerShardEdges      []int
+	// InteriorEdges is the merged per-shard chordal edge total before
+	// border reconciliation.
+	InteriorEdges int
+	// BorderTotal is the number of input edges crossing shards;
+	// StitchedEdges counts spanning-stitch additions (BorderBridges the
+	// cross-shard subset); BorderAdmitted counts border edges admitted
+	// by the exact chordality-preserving pass; RepairedEdges counts the
+	// merged repair pass additions.
+	BorderTotal    int
+	StitchedEdges  int
+	BorderBridges  int
+	BorderAdmitted int
+	RepairedEdges  int
+	// Chordal is the shard stage's own verification of the merged
+	// subgraph (always expected true; a self-check of reconciliation).
+	Chordal bool
 }
 
 // StageTiming is the wall-clock duration of one pipeline stage.
@@ -381,6 +442,8 @@ type PipelineResult struct {
 	SerialDuration time.Duration
 	// Partition summarizes the partitioned baseline, when used.
 	Partition *PartitionSummary
+	// Shard summarizes the sharded extraction, when used.
+	Shard *ShardSummary
 	// Verified reports whether the verify stage ran; ChordalOK whether
 	// the subgraph passed the chordality check.
 	Verified  bool
@@ -435,7 +498,7 @@ func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 		}
 		start := enter("acquire")
 		var loadErr error
-		g, loadErr = src.Load()
+		g, loadErr = src.LoadWorkers(p.Options.Workers)
 		if loadErr != nil {
 			return nil, loadErr
 		}
@@ -449,9 +512,9 @@ func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 		start := enter("relabel")
 		switch p.Relabel {
 		case RelabelBFS:
-			g = g.Relabel(analysis.BFSOrder(g, 0))
+			g = g.RelabelWorkers(analysis.BFSOrder(g, 0), p.Options.Workers)
 		case RelabelDegree:
-			g = g.Relabel(analysis.DegreeOrder(g))
+			g = g.RelabelWorkers(analysis.DegreeOrder(g), p.Options.Workers)
 		default:
 			return nil, fmt.Errorf("chordal: unknown relabel mode %d", p.Relabel)
 		}
@@ -463,7 +526,7 @@ func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 		return nil, err
 	}
 
-	extracting := p.Extract || p.Serial || p.Partitions > 0
+	extracting := p.Extract || p.Serial || p.Partitions > 0 || p.Shards > 0
 	if extracting {
 		start := enter("extract")
 		switch {
@@ -481,6 +544,36 @@ func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 				CleanupRounds:  rep.Rounds,
 			}
 			res.Subgraph = r.ToGraph(g.NumVertices())
+		case p.Shards > 0:
+			opts := shard.Options{
+				Shards:     p.Shards,
+				Core:       p.Options,
+				StitchOnly: p.ShardStitchOnly,
+				Repair:     p.Options.RepairMaximality,
+			}
+			if p.OnShardIteration != nil {
+				opts.OnShardIteration = p.OnShardIteration
+			}
+			r, err := shard.ExtractContext(ctx, g, opts)
+			if err != nil {
+				return nil, err
+			}
+			sum := &ShardSummary{
+				Shards:         len(r.Shards),
+				BorderTotal:    r.BorderTotal,
+				StitchedEdges:  r.StitchedEdges,
+				BorderBridges:  r.BorderBridges,
+				BorderAdmitted: r.BorderAdmitted,
+				RepairedEdges:  r.RepairedEdges,
+				Chordal:        r.Chordal,
+			}
+			for _, st := range r.Shards {
+				sum.PerShardIterations = append(sum.PerShardIterations, st.Iterations)
+				sum.PerShardEdges = append(sum.PerShardEdges, st.ChordalEdges)
+				sum.InteriorEdges += st.ChordalEdges
+			}
+			res.Shard = sum
+			res.Subgraph = r.Subgraph
 		default:
 			opts := p.Options
 			if p.OnIteration != nil {
@@ -511,7 +604,14 @@ func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 		}
 		start := enter("verify")
 		res.Verified = true
-		res.ChordalOK = verify.IsChordal(res.Subgraph)
+		if res.Shard != nil {
+			// The shard stage already ran the chordality check on this
+			// exact subgraph as its reconciliation self-check; reuse it
+			// rather than paying the O(V+E) MCS+PEO pass twice.
+			res.ChordalOK = res.Shard.Chordal
+		} else {
+			res.ChordalOK = verify.IsChordal(res.Subgraph)
+		}
 		if res.ChordalOK && g.NumEdges() <= maxAuditEdges {
 			res.MaximalityAudited = true
 			res.ReAddableEdges = len(verify.AuditMaximality(g, res.Subgraph, 10))

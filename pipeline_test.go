@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"chordal"
@@ -138,6 +139,66 @@ func TestPipelineBaselines(t *testing.T) {
 	}
 	if !parts.ChordalOK {
 		t.Fatal("partitioned baseline output not chordal")
+	}
+}
+
+func TestPipelineSharded(t *testing.T) {
+	var mu sync.Mutex
+	iterEvents := 0
+	res, err := chordal.Pipeline{
+		Source: "rmat-g:10:7",
+		Shards: 4,
+		Verify: true,
+		OnShardIteration: func(shard int, it chordal.IterationStats) {
+			// Invoked concurrently across shards; guard the counter.
+			mu.Lock()
+			iterEvents++
+			mu.Unlock()
+			if shard < 0 || shard >= 4 {
+				t.Errorf("shard index %d out of range", shard)
+			}
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iterEvents == 0 {
+		t.Error("no shard iteration callbacks")
+	}
+	if res.Shard == nil || res.Shard.Shards != 4 {
+		t.Fatalf("shard summary %+v, want 4 shards", res.Shard)
+	}
+	if !res.Shard.Chordal || !res.ChordalOK {
+		t.Fatal("sharded pipeline output not chordal")
+	}
+	if len(res.Shard.PerShardIterations) != 4 || len(res.Shard.PerShardEdges) != 4 {
+		t.Fatalf("per-shard series %+v", res.Shard)
+	}
+	if res.Extraction != nil {
+		t.Fatal("sharded run must not report a whole-graph Extraction result")
+	}
+	got := int(res.Subgraph.NumEdges())
+	want := res.Shard.InteriorEdges + res.Shard.StitchedEdges + res.Shard.BorderAdmitted
+	if got != want {
+		t.Fatalf("edge accounting: subgraph %d, counters %d", got, want)
+	}
+
+	// One shard reproduces the whole-graph kernel plus spanning stitch.
+	one, err := chordal.Pipeline{Source: "rmat-g:10:7", Shards: 1, ShardStitchOnly: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := chordal.Pipeline{
+		Source:  "rmat-g:10:7",
+		Extract: true,
+		Options: chordal.Options{StitchComponents: true},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Subgraph.NumEdges() != ref.Subgraph.NumEdges() {
+		t.Fatalf("shards=1 kept %d edges, whole-graph+stitch kept %d",
+			one.Subgraph.NumEdges(), ref.Subgraph.NumEdges())
 	}
 }
 
