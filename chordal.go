@@ -22,6 +22,14 @@
 // The package is a thin, documented facade over the internal packages;
 // everything needed for extraction, generation, verification and the
 // downstream chordal-graph algorithms is re-exported here.
+//
+// For whole runs (acquire → relabel → extract → verify → write), build
+// a declarative Spec: it is versioned, JSON-round-trippable, selects
+// its extraction Engine by registry name, exposes one canonical cache
+// identity (Spec.Canonical), and reports progress through the unified
+// Event stream. The CLI tools and the HTTP extraction service execute
+// the same Spec type, so identical parameters share one identity —
+// and one cache entry — across all three surfaces.
 package chordal
 
 import (

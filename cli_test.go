@@ -1,11 +1,15 @@
 package chordal_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"chordal"
 )
 
 // TestCLIEndToEnd drives the four command-line tools through a full
@@ -74,5 +78,144 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = run("./cmd/benchrunner", "-exp", "pct", "-scales", "8", "-bio-downscale", "64")
 	if !strings.Contains(out, "RMAT-ER(8)") {
 		t.Fatalf("benchrunner output: %s", out)
+	}
+}
+
+// TestCLIModeConflicts pins the engine-conflict contract: flag
+// combinations that used to pick one engine by silent precedence must
+// exit non-zero with an error naming the conflict.
+func TestCLIModeConflicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-serial", "-shards", "4"},
+		{"-serial", "-partition", "2"},
+		{"-partition", "2", "-shards", "4"},
+		{"-engine", "parallel", "-shards", "4"},
+		{"-engine", "serial", "-partition", "2"},
+		{"-engine", "warp"},
+	}
+	for _, flags := range cases {
+		args := append([]string{"run", "./cmd/chordal", "-in", "gnm:100:300:1"}, flags...)
+		cmd := exec.Command(goTool, args...)
+		cmd.Dir = repoRoot
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("chordal %v exited 0; want a conflict error\n%s", flags, out)
+			continue
+		}
+		if !strings.Contains(string(out), "conflict") && !strings.Contains(string(out), "unknown engine") {
+			t.Errorf("chordal %v error does not name the conflict:\n%s", flags, out)
+		}
+	}
+}
+
+// TestCLIJSONReport drives chordal -json and pins the cross-surface
+// identity contract: the CLI's reported canonical key equals the
+// library's Spec.Canonical for the same parameters, and the written
+// subgraph is byte-identical to a library Spec.Run of that spec.
+func TestCLIJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cliOut := filepath.Join(dir, "cli.bin")
+
+	cmd := exec.Command(goTool, "run", "./cmd/chordal",
+		"-in", "gnm:500:1500:3", "-shards", "2", "-verify", "-json", "-out", cliOut)
+	cmd.Dir = repoRoot
+	raw, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("chordal -json: %v", err)
+	}
+	var rep struct {
+		Spec struct {
+			V      int    `json:"v"`
+			Engine string `json:"engine"`
+		} `json:"spec"`
+		Canonical  string `json:"canonical"`
+		Extraction *struct {
+			Engine       string `json:"engine"`
+			ChordalEdges int64  `json:"chordalEdges"`
+			Shard        *struct {
+				Shards int `json:"shards"`
+			} `json:"shard"`
+		} `json:"extraction"`
+		Verify *struct {
+			Chordal bool `json:"chordal"`
+		} `json:"verify"`
+		Timings []struct {
+			Stage string `json:"stage"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("chordal -json emitted unparseable output: %v\n%s", err, raw)
+	}
+	if rep.Spec.V != 1 || rep.Spec.Engine != "sharded" {
+		t.Errorf("report spec %+v, want v1 sharded", rep.Spec)
+	}
+	if rep.Extraction == nil || rep.Extraction.Shard == nil || rep.Extraction.Shard.Shards != 2 {
+		t.Errorf("report extraction %+v, want a 2-shard summary", rep.Extraction)
+	}
+	if rep.Verify == nil || !rep.Verify.Chordal {
+		t.Errorf("report verify %+v, want chordal", rep.Verify)
+	}
+	if len(rep.Timings) == 0 {
+		t.Error("report has no stage timings")
+	}
+
+	spec := chordal.Spec{
+		Source:       "gnm:500:1500:3",
+		EngineConfig: chordal.EngineConfig{Shards: 2},
+		Verify:       true,
+	}
+	wantCanon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Canonical != wantCanon {
+		t.Errorf("CLI canonical\n %s\nlibrary canonical\n %s", rep.Canonical, wantCanon)
+	}
+
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Extraction.ChordalEdges != res.Subgraph.NumEdges() {
+		t.Errorf("CLI reported %d chordal edges, library run extracted %d",
+			rep.Extraction.ChordalEdges, res.Subgraph.NumEdges())
+	}
+	libOut := filepath.Join(dir, "lib.bin")
+	if err := chordal.SaveGraph(libOut, res.Subgraph); err != nil {
+		t.Fatal(err)
+	}
+	cliBytes, err := os.ReadFile(cliOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libBytes, err := os.ReadFile(libOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cliBytes, libBytes) {
+		t.Errorf("CLI-written subgraph (%d bytes) differs from library Spec.Run (%d bytes)",
+			len(cliBytes), len(libBytes))
 	}
 }

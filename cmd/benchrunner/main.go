@@ -78,7 +78,7 @@ func sweep(source string, maxProcs, trials int) error {
 	if trials < 1 {
 		trials = 1
 	}
-	acq, err := chordal.Pipeline{Source: source}.Run()
+	acq, err := chordal.Spec{Source: source, Engine: chordal.EngineNone}.Run()
 	if err != nil {
 		return err
 	}

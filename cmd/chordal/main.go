@@ -1,20 +1,29 @@
 // Command chordal extracts a maximal chordal subgraph from a graph file
 // or generator spec using the paper's multithreaded algorithm,
 // optionally verifying the result and writing the subgraph out. It is a
-// thin flag layer over the chordal.Pipeline API.
+// thin flag layer over the chordal.Spec API: flags compile to one
+// declarative Spec, which runs through the same engine registry and
+// runner as the library and the HTTP service.
 //
 // Usage:
 //
 //	chordal -in graph.bin -out sub.bin -verify
 //	chordal -in rmat-g:16:7 -variant unopt -schedule async -workers 8
-//	chordal -in rmat-g:18:7 -shards 8 -verify   # sharded extraction
-//	chordal -in graph.txt -serial          # Dearing et al. baseline
+//	chordal -in rmat-g:18:7 -shards 8 -verify   # sharded engine
+//	chordal -in graph.txt -serial               # Dearing et al. baseline
+//	chordal -in rmat-er:12 -json                # machine-readable report
+//
+// Exactly one engine may be selected: combining -serial, -partition,
+// -shards, or a conflicting -engine name exits non-zero with a clear
+// error instead of silently picking one.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"chordal"
 )
@@ -23,12 +32,13 @@ func main() {
 	var (
 		in         = flag.String("in", "", "input graph path or generator spec (required)")
 		out        = flag.String("out", "", "optional output path for the chordal subgraph")
+		engineSel  = flag.String("engine", "", "extraction engine: "+strings.Join(chordal.EngineNames(), "|")+" (default parallel; -serial/-partition/-shards imply one)")
 		variant    = flag.String("variant", "auto", "auto|opt|unopt")
 		schedule   = flag.String("schedule", "dataflow", "dataflow|async|sync")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-		serial     = flag.Bool("serial", false, "use the serial Dearing et al. baseline")
-		parts      = flag.Int("partition", 0, "use the distributed-style baseline with this many partitions (plus cycle cleanup)")
-		shards     = flag.Int("shards", 0, "run sharded extraction with this many vertex-range shards (border edges reconciled chordality-preserving)")
+		serial     = flag.Bool("serial", false, "use the serial Dearing et al. baseline engine")
+		parts      = flag.Int("partition", 0, "use the distributed-style partitioned engine with this many partitions (plus cycle cleanup)")
+		shards     = flag.Int("shards", 0, "use the sharded engine with this many vertex-range shards (border edges reconciled chordality-preserving)")
 		stitchOnly = flag.Bool("shard-stitch-only", false, "with -shards: reconcile border edges by spanning stitch only")
 		repair     = flag.Bool("repair", false, "run the maximality repair post-pass")
 		stitch     = flag.Bool("stitch", false, "stitch disconnected chordal components")
@@ -36,6 +46,7 @@ func main() {
 		doVerify   = flag.Bool("verify", false, "verify chordality (and audit maximality on small graphs)")
 		iters      = flag.Bool("iters", false, "print per-iteration queue statistics")
 		timings    = flag.Bool("timings", false, "print per-stage pipeline timings")
+		jsonOut    = flag.Bool("json", false, "emit the full run report as one JSON object on stdout (for benchrunner and CI)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -44,48 +55,79 @@ func main() {
 		os.Exit(2)
 	}
 
-	p := chordal.Pipeline{
-		Source:          *in,
-		Extract:         true,
-		Serial:          *serial,
-		Partitions:      *parts,
-		Shards:          *shards,
-		ShardStitchOnly: *stitchOnly,
-		Verify:          *doVerify,
-		Output:          *out,
-	}
-	if *bfs {
-		p.Relabel = chordal.RelabelBFS
-	}
-	p.Options.Workers = *workers
-	p.Options.RepairMaximality = *repair
-	p.Options.StitchComponents = *stitch
-	var err error
-	if p.Options.Variant, err = chordal.ParseVariant(*variant); err != nil {
-		fail(err)
-	}
-	if p.Options.Schedule, err = chordal.ParseSchedule(*schedule); err != nil {
-		fail(err)
+	engine := *engineSel
+	if *serial {
+		if engine != "" && engine != chordal.EngineSerial {
+			fail(fmt.Errorf("-serial conflicts with -engine %s", engine))
+		}
+		engine = chordal.EngineSerial
 	}
 
-	res, err := p.Run()
+	spec := chordal.Spec{
+		Source: *in,
+		Engine: engine,
+		EngineConfig: chordal.EngineConfig{
+			Variant:         *variant,
+			Schedule:        *schedule,
+			Workers:         *workers,
+			Repair:          *repair,
+			Stitch:          *stitch,
+			Partitions:      *parts,
+			Shards:          *shards,
+			ShardStitchOnly: *stitchOnly,
+		},
+		Verify: *doVerify,
+		Output: *out,
+	}
+	if *bfs {
+		spec.Relabel = "bfs"
+	}
+	// Normalize up front: engine conflicts (say -serial -shards 4) and
+	// unknown enum names exit here, before any graph is loaded.
+	spec, err := spec.Normalize()
 	if err != nil {
 		fail(err)
 	}
+
+	res, err := spec.Run()
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		rep, err := chordal.Report(spec, res)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		// Same exit-code contract as the text mode: a failed verify or
+		// a failed shard reconciliation self-check is non-zero.
+		if (res.Verified && !res.ChordalOK) || (res.Shard != nil && !res.Shard.Chordal) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("input: %s\n", res.InputStats)
 	if *bfs {
 		fmt.Println("relabeled vertices in BFS order")
 	}
 
-	switch {
-	case *serial:
+	switch spec.Engine {
+	case chordal.EngineNone:
+		// Acquire/relabel/write only; nothing was extracted.
+	case chordal.EngineSerial:
 		fmt.Printf("serial (Dearing et al.): %d chordal edges in %s\n",
 			res.Subgraph.NumEdges(), res.SerialDuration)
-	case *parts > 0:
+	case chordal.EnginePartitioned:
 		ps := res.Partition
 		fmt.Printf("partitioned (%d parts): %d interior + %d border edges kept; cleanup removed %d in %d rounds\n",
 			ps.Parts, ps.InteriorEdges, ps.BorderAdmitted, ps.CleanupRemoved, ps.CleanupRounds)
-	case *shards > 0:
+	case chordal.EngineSharded:
 		sh := res.Shard
 		fmt.Printf("sharded (%d shards): %d interior + %d stitched (%d border bridges) + %d border-admitted + %d repaired = %d edges\n",
 			sh.Shards, sh.InteriorEdges, sh.StitchedEdges, sh.BorderBridges, sh.BorderAdmitted,
@@ -137,7 +179,11 @@ func main() {
 	}
 
 	if *out != "" {
-		fmt.Printf("wrote %s: %s\n", *out, chordal.ComputeStats(res.Subgraph))
+		written := res.Subgraph
+		if written == nil {
+			written = res.Input
+		}
+		fmt.Printf("wrote %s: %s\n", *out, chordal.ComputeStats(written))
 	}
 	if *timings {
 		for _, st := range res.Timings {

@@ -43,8 +43,8 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		jobs        = flag.Int("jobs", 2, "maximum concurrently running jobs")
 		workers     = flag.Int("workers", 0, "worker tokens shared across jobs (0 = all CPUs)")
-		inputCache  = flag.Int("input-cache", 16, "generated-input LRU entries (negative disables)")
-		resultCache = flag.Int("result-cache", 64, "completed-extraction LRU entries (negative disables)")
+		inputCache  = flag.Int64("input-cache-bytes", 256<<20, "generated-input LRU byte budget, charged at CSR size (negative disables)")
+		resultCache = flag.Int64("result-cache-bytes", 256<<20, "completed-extraction LRU byte budget, charged at CSR size (negative disables)")
 		maxUpload   = flag.Int64("max-upload", 256<<20, "maximum multipart upload bytes")
 		allowPaths  = flag.Bool("allow-paths", false, "permit server-side file paths as job sources (trusted deployments only)")
 		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "garbage-collect terminal jobs this long after finishing (negative disables)")
@@ -52,13 +52,13 @@ func main() {
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		MaxConcurrent:      *jobs,
-		Workers:            *workers,
-		InputCacheEntries:  *inputCache,
-		ResultCacheEntries: *resultCache,
-		MaxUploadBytes:     *maxUpload,
-		AllowPathSources:   *allowPaths,
-		JobTTL:             *jobTTL,
+		MaxConcurrent:    *jobs,
+		Workers:          *workers,
+		InputCacheBytes:  *inputCache,
+		ResultCacheBytes: *resultCache,
+		MaxUploadBytes:   *maxUpload,
+		AllowPathSources: *allowPaths,
+		JobTTL:           *jobTTL,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

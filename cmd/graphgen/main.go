@@ -1,5 +1,6 @@
 // Command graphgen generates the test-suite graphs of the paper and
-// writes them to disk through the chordal.Pipeline generate→write path.
+// writes them to disk through the chordal.Spec generate→write path
+// (engine "none": acquire and write, no extraction).
 //
 // Usage:
 //
@@ -51,7 +52,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	res, err := chordal.Pipeline{Source: source, Output: *out}.Run()
+	res, err := chordal.Spec{Source: source, Engine: chordal.EngineNone, Output: *out}.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)

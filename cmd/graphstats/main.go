@@ -8,7 +8,7 @@
 //	graphstats -in graph.bin
 //	graphstats -in rmat-b:14 -paths -clustering -sources 512
 //
-// -in accepts a file path or any chordal.Pipeline generator spec; the
+// -in accepts a file path or any chordal.Spec generator source; the
 // graph is acquired through the pipeline's parallel ingestion path.
 package main
 
@@ -37,7 +37,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	res, err := chordal.Pipeline{Source: *in}.Run()
+	res, err := chordal.Spec{Source: *in, Engine: chordal.EngineNone}.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphstats:", err)
 		os.Exit(1)

@@ -1,0 +1,241 @@
+package chordal
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"chordal/internal/core"
+	"chordal/internal/dearing"
+	"chordal/internal/partition"
+	"chordal/internal/shard"
+)
+
+// This file defines the pluggable extraction-engine seam. An Engine
+// turns an acquired graph into a chordal subgraph; the registry maps
+// the Spec's declarative engine name to an implementation, so new
+// extraction strategies (out-of-core streaming shards, batched
+// multi-graph, remote backends) plug in here once and become reachable
+// from the library, the CLI, and the service without touching any of
+// them. The four built-in engines model the paper's algorithm variants:
+// Algorithm 1 whole-graph (parallel), the serial Dearing–Shier–Warner
+// baseline, the distributed-style partitioned baseline, and sharded
+// extraction with chordality-preserving border reconciliation.
+
+// Names of the built-in engines, plus the "none" pseudo-engine that
+// disables the extraction stage (acquire/relabel/write-only runs).
+const (
+	// EngineParallel runs the paper's multithreaded Algorithm 1 on the
+	// whole graph (the default engine).
+	EngineParallel = "parallel"
+	// EngineSerial runs the serial Dearing-Shier-Warner baseline.
+	EngineSerial = "serial"
+	// EnginePartitioned runs the distributed-style partitioned baseline
+	// plus cycle cleanup; requires Partitions >= 1.
+	EnginePartitioned = "partitioned"
+	// EngineSharded runs Algorithm 1 per contiguous vertex-range shard
+	// and reconciles border edges chordality-preserving (DESIGN.md §7);
+	// requires Shards >= 1.
+	EngineSharded = "sharded"
+	// EngineNone is not a registered Engine: it marks a Spec that stops
+	// after acquire/relabel (and optional write), extracting nothing.
+	EngineNone = "none"
+)
+
+// EngineResult is the outcome of one Engine.Extract call. Subgraph is
+// always set; the summary fields are populated per engine.
+type EngineResult struct {
+	// Subgraph is the extracted chordal subgraph.
+	Subgraph *Graph
+	// Extraction is the parallel kernel's full result (edge set and
+	// per-iteration instrumentation); nil for other engines.
+	Extraction *Result
+	// SerialDuration is the serial baseline's extraction time.
+	SerialDuration time.Duration
+	// Partition summarizes the partitioned baseline, when used.
+	Partition *PartitionSummary
+	// Shard summarizes the sharded extraction, when used.
+	Shard *ShardSummary
+}
+
+// Engine is one extraction strategy. Implementations must be safe for
+// concurrent use: one Engine value serves every run that names it.
+type Engine interface {
+	// Name returns the registry name the Spec selects the engine by.
+	Name() string
+	// Extract runs the strategy on g under ctx. Cancellation is
+	// observed at the engine's natural boundaries; cfg carries the
+	// declarative parameters plus the run's Observer.
+	Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*EngineResult, error)
+}
+
+var (
+	engineMu sync.RWMutex
+	engines  = make(map[string]Engine)
+)
+
+// RegisterEngine adds an engine to the registry under e.Name(),
+// making it selectable by Spec.Engine. It panics on an empty or
+// duplicate name — engine names are global API surface, and a silent
+// replacement would change what existing specs mean.
+func RegisterEngine(e Engine) {
+	name := e.Name()
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if name == "" || name == EngineNone {
+		panic(fmt.Sprintf("chordal: invalid engine name %q", name))
+	}
+	if _, dup := engines[name]; dup {
+		panic(fmt.Sprintf("chordal: engine %q already registered", name))
+	}
+	engines[name] = e
+}
+
+// LookupEngine returns the registered engine with the given name.
+func LookupEngine(name string) (Engine, bool) {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	e, ok := engines[name]
+	return e, ok
+}
+
+// EngineNames returns the sorted names of all registered engines.
+func EngineNames() []string {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	names := make([]string, 0, len(engines))
+	for name := range engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterEngine(parallelEngine{})
+	RegisterEngine(serialEngine{})
+	RegisterEngine(partitionedEngine{})
+	RegisterEngine(shardedEngine{})
+}
+
+// parallelEngine is the paper's multithreaded Algorithm 1 on the whole
+// graph.
+type parallelEngine struct{}
+
+// Name implements Engine.
+func (parallelEngine) Name() string { return EngineParallel }
+
+// Extract implements Engine with core.ExtractContext.
+func (parallelEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*EngineResult, error) {
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	if obs := cfg.Observer; obs != nil {
+		inner := opts.OnIteration
+		opts.OnIteration = func(it IterationStats) {
+			if inner != nil {
+				inner(it)
+			}
+			obs(newIterationEvent(nil, it))
+		}
+	}
+	r, err := core.ExtractContext(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineResult{Subgraph: r.ToGraph(), Extraction: r}, nil
+}
+
+// serialEngine is the Dearing-Shier-Warner serial baseline.
+type serialEngine struct{}
+
+// Name implements Engine.
+func (serialEngine) Name() string { return EngineSerial }
+
+// Extract implements Engine with the dearing package. The baseline is
+// a single uninterruptible pass; ctx is only checked on entry.
+func (serialEngine) Extract(ctx context.Context, g *Graph, _ EngineConfig) (*EngineResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := dearing.Extract(g, 0)
+	return &EngineResult{
+		Subgraph:       r.ToGraph(g.NumVertices()),
+		SerialDuration: r.Total,
+	}, nil
+}
+
+// partitionedEngine is the distributed-style partitioned baseline plus
+// cycle cleanup.
+type partitionedEngine struct{}
+
+// Name implements Engine.
+func (partitionedEngine) Name() string { return EnginePartitioned }
+
+// Extract implements Engine with partition.ExtractAndClean. The
+// baseline runs to completion; ctx is only checked on entry.
+func (partitionedEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*EngineResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r, rep := partition.ExtractAndClean(g, cfg.Partitions)
+	return &EngineResult{
+		Subgraph: r.ToGraph(g.NumVertices()),
+		Partition: &PartitionSummary{
+			Parts:          r.Parts,
+			InteriorEdges:  r.InteriorEdges,
+			BorderAdmitted: r.BorderAdmitted,
+			CleanupRemoved: rep.Removed,
+			CleanupRounds:  rep.Rounds,
+		},
+	}, nil
+}
+
+// shardedEngine runs Algorithm 1 per contiguous vertex-range shard and
+// reconciles the border chordality-preserving (DESIGN.md §7).
+type shardedEngine struct{}
+
+// Name implements Engine.
+func (shardedEngine) Name() string { return EngineSharded }
+
+// Extract implements Engine with shard.ExtractContext.
+func (shardedEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*EngineResult, error) {
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	sOpts := shard.Options{
+		Shards:     cfg.Shards,
+		Core:       opts,
+		StitchOnly: cfg.ShardStitchOnly,
+		Repair:     opts.RepairMaximality,
+	}
+	if obs := cfg.Observer; obs != nil {
+		sOpts.OnShardIteration = func(sh int, it IterationStats) {
+			shardIdx := sh
+			obs(newIterationEvent(&shardIdx, it))
+		}
+	}
+	r, err := shard.ExtractContext(ctx, g, sOpts)
+	if err != nil {
+		return nil, err
+	}
+	sum := &ShardSummary{
+		Shards:         len(r.Shards),
+		BorderTotal:    r.BorderTotal,
+		StitchedEdges:  r.StitchedEdges,
+		BorderBridges:  r.BorderBridges,
+		BorderAdmitted: r.BorderAdmitted,
+		RepairedEdges:  r.RepairedEdges,
+		Chordal:        r.Chordal,
+	}
+	for _, st := range r.Shards {
+		sum.PerShardIterations = append(sum.PerShardIterations, st.Iterations)
+		sum.PerShardEdges = append(sum.PerShardEdges, st.ChordalEdges)
+		sum.InteriorEdges += st.ChordalEdges
+	}
+	return &EngineResult{Subgraph: r.Subgraph, Shard: sum}, nil
+}

@@ -66,6 +66,12 @@ func (g *Graph) HasEdge(u, v int32) bool {
 	return false
 }
 
+// SizeBytes returns the in-memory size of the CSR arrays (offsets plus
+// adjacency) — the byte cost the service's caches charge per graph.
+func (g *Graph) SizeBytes() int64 {
+	return int64(len(g.Offsets))*8 + int64(len(g.Adj))*4
+}
+
 // MaxDegree returns the maximum degree, or 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0

@@ -267,7 +267,7 @@ func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID:      j.id,
 		State:   j.state,
-		Source:  j.spec.source,
+		Source:  j.spec.spec.Source,
 		Cached:  j.cached,
 		Created: j.created,
 		Metrics: j.metrics,

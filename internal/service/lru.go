@@ -5,33 +5,41 @@ import (
 	"sync"
 )
 
-// lruCache is a mutex-guarded least-recently-used cache with a fixed
-// entry capacity. The service keeps two: generated inputs keyed by
-// canonical Source spec, and completed extractions keyed by the full
-// job key (source + option fingerprint). Entry-count capacity is a
-// deliberate simplification — graphs vary in size, but the operator
-// sizes the caches for the expected working set (the benchmark and
-// bio-suite shapes reuse a handful of specs heavily).
+// lruCache is a mutex-guarded least-recently-used cache bounded by a
+// byte budget rather than an entry count: every entry is charged a cost
+// (the CSR byte size of the graph it holds) and the least recently used
+// entries are evicted until the sum fits the budget. The service keeps
+// two: generated inputs keyed by canonical Source spec, and completed
+// extractions keyed by the spec's canonical encoding. Byte bounding
+// means one scale-20 R-MAT cannot silently pin as much memory as dozens
+// of bio-suite graphs the way an entry cap allowed.
 type lruCache[V any] struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used; values are *lruEntry[V]
-	items map[string]*list.Element
+	mu       sync.Mutex
+	maxBytes int64
+	cost     func(V) int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *lruEntry[V]
+	items    map[string]*list.Element
 }
 
-// lruEntry is one key/value pair in the recency list.
+// lruEntry is one key/value pair in the recency list, with the cost it
+// was charged at insertion.
 type lruEntry[V any] struct {
-	key string
-	val V
+	key  string
+	val  V
+	cost int64
 }
 
-// newLRU creates a cache holding at most capacity entries; capacity <=
-// 0 disables caching (every Get misses, Add is a no-op).
-func newLRU[V any](capacity int) *lruCache[V] {
+// newLRU creates a cache holding at most maxBytes of summed entry cost;
+// maxBytes <= 0 disables caching (every Get misses, Add is a no-op).
+// cost prices one value; an entry whose cost alone exceeds the budget
+// is never retained.
+func newLRU[V any](maxBytes int64, cost func(V) int64) *lruCache[V] {
 	return &lruCache[V]{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
+		maxBytes: maxBytes,
+		cost:     cost,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
 	}
 }
 
@@ -47,24 +55,43 @@ func (c *lruCache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
-// Add inserts or refreshes key, evicting the least recently used entry
-// when the cache is full.
+// Add inserts or refreshes key, then evicts least recently used
+// entries until the byte budget holds. An insertion larger than the
+// whole budget evicts itself — oversized graphs pass through uncached.
 func (c *lruCache[V]) Add(key string, val V) {
-	if c.cap <= 0 {
+	if c.maxBytes <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry[V]).val = val
+	charged := c.cost(val)
+	if charged > c.maxBytes {
+		// Oversized values pass through uncached; inserting one first
+		// would flush every fitting entry before evicting itself. A
+		// refresh to an oversized value drops the stale entry instead.
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*lruEntry[V])
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.cost
+		}
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry[V]{key, val})
-	if c.ll.Len() > c.cap {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*lruEntry[V])
+		c.bytes += charged - e.cost
+		e.val, e.cost = val, charged
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry[V]{key, val, charged})
+		c.bytes += charged
+	}
+	for c.bytes > c.maxBytes && c.ll.Len() > 0 {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*lruEntry[V])
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+		delete(c.items, e.key)
+		c.bytes -= e.cost
 	}
 }
 
@@ -73,4 +100,11 @@ func (c *lruCache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the summed cost of the cached entries.
+func (c *lruCache[V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -2,8 +2,12 @@ package service
 
 import "testing"
 
+// unitCost charges every entry 1 byte, recovering entry-count
+// semantics for the recency tests.
+func unitCost(int) int64 { return 1 }
+
 func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
-	c := newLRU[int](2)
+	c := newLRU[int](2, unitCost)
 	c.Add("a", 1)
 	c.Add("b", 2)
 	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
@@ -28,8 +32,55 @@ func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 	}
 }
 
+func TestLRUByteBounded(t *testing.T) {
+	// Charge each entry its own value: a 10-byte budget holds 4+5 but
+	// evicts the older entry when 3 more bytes arrive.
+	c := newLRU[int](10, func(v int) int64 { return int64(v) })
+	c.Add("a", 4)
+	c.Add("b", 5)
+	if got := c.Bytes(); got != 9 {
+		t.Fatalf("Bytes = %d, want 9", got)
+	}
+	c.Add("c", 3)
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived; want evicted to fit the byte budget")
+	}
+	if got := c.Bytes(); got != 8 {
+		t.Errorf("Bytes = %d, want 8 (b+c)", got)
+	}
+
+	// Refreshing a key at a new cost adjusts the accounting.
+	c.Add("b", 7)
+	if got := c.Bytes(); got != 10 {
+		t.Errorf("Bytes after refresh = %d, want 10 (b=7, c=3)", got)
+	}
+
+	// An entry larger than the whole budget passes through uncached
+	// and must NOT flush the entries that do fit.
+	c.Add("huge", 100)
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized entry cached; want passed through")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("oversized insert evicted a fitting entry")
+	}
+	if got := c.Bytes(); got != 10 {
+		t.Errorf("Bytes after oversized insert = %d, want 10 (b and c intact)", got)
+	}
+
+	// Refreshing an existing key to an oversized value drops the stale
+	// entry rather than serving it forever.
+	c.Add("b", 100)
+	if _, ok := c.Get("b"); ok {
+		t.Error("stale entry survived an oversized refresh")
+	}
+	if got := c.Bytes(); got != 3 {
+		t.Errorf("Bytes after oversized refresh = %d, want 3 (c only)", got)
+	}
+}
+
 func TestLRUDisabled(t *testing.T) {
-	c := newLRU[int](-1)
+	c := newLRU[int](-1, unitCost)
 	c.Add("a", 1)
 	if _, ok := c.Get("a"); ok {
 		t.Error("disabled cache stored an entry")

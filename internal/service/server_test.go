@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"chordal"
+	"chordal/internal/graph"
 )
 
 // startServer spins up the service behind an httptest listener.
@@ -330,6 +334,94 @@ func TestSubmitAfterCloseRejected(t *testing.T) {
 	}
 }
 
+// TestSpecParityAcrossSurfaces is the acceptance check for the one-spec
+// redesign: a job submitted as JSON to the service and a library
+// Spec.Run with identical parameters share the identical canonical key
+// and a byte-identical extracted subgraph (the CLI's -json path is
+// pinned against the same canonical in the root cli_test).
+func TestSpecParityAcrossSurfaces(t *testing.T) {
+	_, ts := startServer(t, Config{})
+
+	libSpec := chordal.Spec{
+		Source:       "rmat-g:9:5",
+		EngineConfig: chordal.EngineConfig{Repair: true},
+		Verify:       true,
+	}
+	libCanon, err := libSpec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The service decodes the equivalent JSON request to the same key.
+	js, err := newJobSpec(JobRequest{
+		Source:  " RMAT-G:9:5 ",
+		Options: JobOptions{Repair: true},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Key() != libCanon {
+		t.Fatalf("service key\n %s\nlibrary canonical\n %s", js.Key(), libCanon)
+	}
+
+	// And the job's extracted bytes match the library run's.
+	st, _ := submitJSON(t, ts.URL, JobRequest{Source: "rmat-g:9:5", Options: JobOptions{Repair: true}})
+	if _, done := followEvents(t, ts.URL, st.ID); done.State != StateDone {
+		t.Fatalf("service job: %s (%s)", done.State, done.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?format=bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := libSpec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lib bytes.Buffer
+	if err := graph.WriteBinary(&lib, res.Subgraph); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, lib.Bytes()) {
+		t.Fatalf("service result (%d bytes) differs from library Spec.Run (%d bytes)",
+			len(served), lib.Len())
+	}
+}
+
+// TestResultCacheByteBounded pins the byte budget: with a budget too
+// small for any subgraph, completed results are never retained, so an
+// identical resubmission runs fresh instead of hitting the cache.
+func TestResultCacheByteBounded(t *testing.T) {
+	svc, ts := startServer(t, Config{ResultCacheBytes: 64})
+
+	st, _ := submitJSON(t, ts.URL, JobRequest{Source: "gnm:500:1500"})
+	if _, done := followEvents(t, ts.URL, st.ID); done.State != StateDone {
+		t.Fatalf("job: %s", done.State)
+	}
+	if n := svc.results.Len(); n != 0 {
+		t.Fatalf("result cache holds %d entries under a 64-byte budget", n)
+	}
+	again, code := submitJSON(t, ts.URL, JobRequest{Source: "gnm:500:1500"})
+	if code != http.StatusAccepted || again.ID == st.ID {
+		t.Fatalf("resubmission: code %d id %s, want a fresh 202 job (no cache to hit)", code, again.ID)
+	}
+	if _, done := followEvents(t, ts.URL, again.ID); done.State != StateDone {
+		t.Fatalf("rerun job: %s", done.State)
+	}
+
+	// The generated-input cache ran under the default budget and did
+	// retain the input, charged at CSR size.
+	if svc.inputs.Len() < 1 || svc.inputs.Bytes() == 0 {
+		t.Errorf("input cache len=%d bytes=%d, want the generated graph retained",
+			svc.inputs.Len(), svc.inputs.Bytes())
+	}
+}
+
 // TestHealthz checks the liveness endpoint's counters move.
 func TestHealthz(t *testing.T) {
 	_, ts := startServer(t, Config{})
@@ -347,6 +439,12 @@ func TestHealthz(t *testing.T) {
 		resp.Body.Close()
 		if h["status"] != "ok" {
 			t.Fatalf("healthz status = %v", h["status"])
+		}
+		if _, ok := h["inputCacheBudgetBytes"]; !ok {
+			t.Fatalf("healthz misses the cache byte budget: %v", h)
+		}
+		if _, ok := h["resultCacheBytes"]; !ok {
+			t.Fatalf("healthz misses the cache byte occupancy: %v", h)
 		}
 		if h["done"].(float64) >= 1 {
 			return

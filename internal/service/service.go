@@ -38,15 +38,17 @@
 // boundary, and DELETE /v1/jobs/{id} cancels one job the same way,
 // releasing its budget tokens as its goroutine drains.
 //
-// Jobs are identified by a canonical spec: generator sources are
-// normalized (family lowercased, defaults filled) and uploads are
-// content-addressed, and the extraction options are hashed in fixed
-// field order, so equivalent submissions — different JSON key order,
-// whitespace, or spelled-out defaults — share one identity. Two LRU
-// caches exploit that identity: generated input graphs are cached by
-// canonical source (the benchmark and bio-suite shapes regenerate the
-// same specs constantly), and completed extractions are cached by the
-// full job key, so a repeated spec is served instantly with
+// Jobs are identified by the canonical encoding of their
+// chordal.Spec (Spec.Canonical): requests decode into a Spec, generator
+// sources are normalized (family lowercased, defaults filled), uploads
+// are content-addressed, and the engine plus its parameters render in
+// fixed field order, so equivalent submissions — different JSON key
+// order, whitespace, or spelled-out defaults — share one identity, the
+// same one a CLI run or library Spec would compute. Two byte-bounded
+// LRU caches exploit that identity: generated input graphs are cached
+// by canonical source (the benchmark and bio-suite shapes regenerate
+// the same specs constantly), and completed extractions are cached by
+// the full canonical spec, so a repeated spec is served instantly with
 // Cached: true in its status. A result-cache hit returns the job that
 // produced the result (or one persistent born-done job if that one was
 // garbage collected) rather than registering a new job per request,
@@ -90,12 +92,16 @@ type Config struct {
 	// Workers is the total worker-token budget shared by all running
 	// jobs; <= 0 means the machine's effective parallelism.
 	Workers int
-	// InputCacheEntries bounds the generated-input LRU; 0 means 16,
-	// negative disables input caching.
-	InputCacheEntries int
-	// ResultCacheEntries bounds the completed-extraction LRU; 0 means
-	// 64, negative disables result caching.
-	ResultCacheEntries int
+	// InputCacheBytes bounds the generated-input LRU by the summed CSR
+	// byte size of the graphs it holds; 0 means 256 MiB, negative
+	// disables input caching. Reported by /healthz alongside current
+	// occupancy.
+	InputCacheBytes int64
+	// ResultCacheBytes bounds the completed-extraction LRU by the
+	// summed CSR byte size of the cached subgraphs; 0 means 256 MiB,
+	// negative disables result caching. Reported by /healthz alongside
+	// current occupancy.
+	ResultCacheBytes int64
 	// MaxUploadBytes bounds one multipart graph upload; <= 0 means
 	// 256 MiB.
 	MaxUploadBytes int64
@@ -152,11 +158,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
-	if cfg.InputCacheEntries == 0 {
-		cfg.InputCacheEntries = 16
+	if cfg.InputCacheBytes == 0 {
+		cfg.InputCacheBytes = 256 << 20
 	}
-	if cfg.ResultCacheEntries == 0 {
-		cfg.ResultCacheEntries = 64
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = 256 << 20
 	}
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 256 << 20
@@ -177,8 +183,18 @@ func New(cfg Config) *Server {
 		stop:     stop,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
-		inputs:   newLRU[*graph.Graph](cfg.InputCacheEntries),
-		results:  newLRU[*cachedResult](cfg.ResultCacheEntries),
+		inputs: newLRU[*graph.Graph](cfg.InputCacheBytes, func(g *graph.Graph) int64 {
+			return g.SizeBytes()
+		}),
+		results: newLRU[*cachedResult](cfg.ResultCacheBytes, func(r *cachedResult) int64 {
+			// The subgraph CSR dominates; metrics and bookkeeping ride
+			// along under a small fixed charge.
+			cost := int64(4096)
+			if r.subgraph != nil {
+				cost += r.subgraph.SizeBytes()
+			}
+			return cost
+		}),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -297,14 +313,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		if spec, err = normalizeOptions(opts); err != nil {
+		format := uploadFormat(hdr.Filename)
+		// Reject bad options before paying a hash pass over a
+		// potentially multi-hundred-MiB upload: normalize against a
+		// placeholder digest, which shares every validation rule with
+		// the real spec built below.
+		if _, err := opts.Spec(chordal.UploadSource(format, [sha256.Size]byte{})); err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		// Hash by streaming over the (memory- or disk-spooled)
 		// multipart file rather than buffering a second in-heap copy,
 		// then rewind to parse — multipart form files are seekable.
-		format := uploadFormat(hdr.Filename)
 		h := sha256.New()
 		if _, err := io.Copy(h, file); err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -312,7 +332,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		var digest [sha256.Size]byte
 		copy(digest[:], h.Sum(nil))
-		spec.source = uploadSource(format, digest)
+		source := chordal.UploadSource(format, digest)
+		cs, err := opts.Spec(source)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		src, err := chordal.ParseSource(cs.Source)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if spec, err = finishJobSpec(cs, src); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		// Probe the result cache before parsing: the job key needs only
 		// the format, content hash and options, so a re-upload of an
 		// already-extracted graph skips the (potentially large) parse.
@@ -514,7 +548,7 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 	// tokens (at least one — an empty pool waits for the first
 	// release). The lease precedes the running transition so a
 	// token-starved job still reports queued.
-	want := job.spec.workers
+	want := job.spec.spec.Workers
 	if want <= 0 {
 		want = max(1, s.budget.Total()/s.cfg.MaxConcurrent)
 	}
@@ -528,55 +562,40 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 	defer s.budget.Release(granted)
 	job.setRunning(time.Now())
 
-	p := job.spec.Pipeline()
-	p.Options.Workers = granted
-	p.OnStage = func(stage string) {
-		job.appendEvent("stage", map[string]string{"stage": stage})
+	spec := job.spec.spec
+	spec.Workers = granted
+	// The unified event stream serializes straight onto the SSE wire:
+	// the event Type is the SSE event name and the marshaled Event the
+	// payload. Shard iterations report concurrently; appendEvent
+	// serializes under the job lock, so the log stays consistent.
+	observe := func(ev chordal.Event) {
+		job.appendEvent(string(ev.Type), ev)
 	}
-	iterationEvent := func(it chordal.IterationStats) map[string]any {
-		return map[string]any{
-			"index":          it.Index,
-			"queueSize":      it.QueueSize,
-			"edgesTested":    it.EdgesTested,
-			"edgesAccepted":  it.EdgesAccepted,
-			"scanWork":       it.ScanWork,
-			"durationMillis": float64(it.Duration.Microseconds()) / 1000,
-		}
-	}
-	p.OnIteration = func(it chordal.IterationStats) {
-		job.appendEvent("iteration", iterationEvent(it))
-	}
-	p.OnShardIteration = func(shard int, it chordal.IterationStats) {
-		// Shards report concurrently; appendEvent serializes under the
-		// job lock, so the SSE log stays consistent.
-		ev := iterationEvent(it)
-		ev["shard"] = shard
-		job.appendEvent("iteration", ev)
-	}
+	runner := chordal.Runner{Observer: observe}
 
-	// Resolve the input ahead of the pipeline when it can come from the
+	// Resolve the input ahead of the run when it can come from the
 	// input cache (uploads were parsed at submission; generated sources
 	// are deterministic in their canonical spec). File-path sources load
-	// inside the pipeline, where the acquire stage is timed as usual.
+	// inside the runner, where the acquire stage is timed as usual.
 	var acquire []StageMillis
 	switch {
 	case upload != nil:
-		p.Input = upload
+		runner.Input = upload
 	case job.spec.generated:
-		if g, ok := s.inputs.Get(job.spec.source); ok {
-			p.Input = g
-			job.appendEvent("stage", map[string]any{"stage": "acquire", "cached": true})
+		if g, ok := s.inputs.Get(spec.Source); ok {
+			runner.Input = g
+			observe(chordal.Event{Type: chordal.EventStageBegin, Stage: "acquire", Cached: true})
 		} else {
 			if err := job.ctx.Err(); err != nil {
 				job.fail(time.Now(), err)
 				return
 			}
-			src, err := chordal.ParseSource(job.spec.source)
+			src, err := chordal.ParseSource(spec.Source)
 			if err != nil {
 				job.fail(time.Now(), err)
 				return
 			}
-			p.OnStage("acquire")
+			observe(chordal.Event{Type: chordal.EventStageBegin, Stage: "acquire"})
 			t0 := time.Now()
 			// Generation honors the job's lease; the sampled graph is
 			// identical at any width, so caching it by canonical spec
@@ -587,12 +606,12 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 				return
 			}
 			acquire = append(acquire, StageMillis{"acquire", float64(time.Since(t0).Microseconds()) / 1000})
-			s.inputs.Add(job.spec.source, g)
-			p.Input = g
+			s.inputs.Add(spec.Source, g)
+			runner.Input = g
 		}
 	}
 
-	res, err := p.RunContext(job.ctx)
+	res, err := runner.Run(job.ctx, spec)
 	if err != nil {
 		job.fail(time.Now(), err)
 		return
@@ -728,17 +747,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"jobs":          total,
-		"queued":        counts[StateQueued],
-		"running":       counts[StateRunning],
-		"done":          counts[StateDone],
-		"failed":        counts[StateFailed],
-		"canceled":      counts[StateCanceled],
-		"inflight":      inflight,
-		"workers":       s.budget.Total(),
-		"maxConcurrent": s.cfg.MaxConcurrent,
-		"inputCache":    s.inputs.Len(),
-		"resultCache":   s.results.Len(),
+		"status":                 "ok",
+		"jobs":                   total,
+		"queued":                 counts[StateQueued],
+		"running":                counts[StateRunning],
+		"done":                   counts[StateDone],
+		"failed":                 counts[StateFailed],
+		"canceled":               counts[StateCanceled],
+		"inflight":               inflight,
+		"workers":                s.budget.Total(),
+		"maxConcurrent":          s.cfg.MaxConcurrent,
+		"inputCache":             s.inputs.Len(),
+		"inputCacheBytes":        s.inputs.Bytes(),
+		"inputCacheBudgetBytes":  s.cfg.InputCacheBytes,
+		"resultCache":            s.results.Len(),
+		"resultCacheBytes":       s.results.Bytes(),
+		"resultCacheBudgetBytes": s.cfg.ResultCacheBytes,
 	})
 }

@@ -1,8 +1,6 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -12,21 +10,29 @@ import (
 // JobRequest is the JSON body of POST /v1/jobs: where the input graph
 // comes from and how to extract. Multipart submissions carry the graph
 // bytes instead of Source and may attach the same Options object as a
-// JSON-encoded "options" form field.
+// JSON-encoded "options" form field. The request is a thin wire shim:
+// it decodes into a chordal.Spec, and every normalization, validation
+// and identity rule lives in the chordal package.
 type JobRequest struct {
 	// Source is a file path or generator spec, as understood by
 	// chordal.ParseSource (see chordal.SourceSpecs for the grammar).
 	Source string `json:"source"`
 	// Options selects the extraction configuration; the zero value uses
-	// the defaults (auto variant, dataflow schedule, verify on).
+	// the defaults (parallel engine, auto variant, dataflow schedule,
+	// verify on).
 	Options JobOptions `json:"options"`
 }
 
 // JobOptions is the wire form of the extraction configuration. String
 // enums use the CLI names so the HTTP API and the chordal command read
 // identically. JSON key order and omitted-versus-defaulted fields do
-// not affect job identity: options are normalized before hashing.
+// not affect job identity: the decoded chordal.Spec is normalized and
+// its Canonical() string is the job key.
 type JobOptions struct {
+	// Engine names the extraction engine (chordal.EngineNames; default
+	// parallel). Omitted, it is implied by Partitions/Shards when
+	// exactly one of them is set; conflicting selections are rejected.
+	Engine string `json:"engine,omitempty"`
 	// Variant is auto|opt|unopt (default auto).
 	Variant string `json:"variant,omitempty"`
 	// Schedule is dataflow|async|sync (default dataflow).
@@ -47,72 +53,68 @@ type JobOptions struct {
 	Repair bool `json:"repair,omitempty"`
 	// Stitch enables the component stitch post-pass.
 	Stitch bool `json:"stitch,omitempty"`
-	// Shards > 0 runs sharded extraction: the kernel runs per
+	// Partitions > 0 runs the distributed-style partitioned baseline
+	// engine with this many parts.
+	Partitions int `json:"partitions,omitempty"`
+	// Shards > 0 runs the sharded engine: the kernel runs per
 	// contiguous vertex-range shard inside the job's worker lease and
 	// border edges are reconciled with a chordality-preserving stitch
 	// (see DESIGN.md §7). 0 (the default) extracts the whole graph in
 	// one kernel.
 	Shards int `json:"shards,omitempty"`
 	// ShardStitchOnly restricts border reconciliation to the spanning
-	// stitch. Ignored (and canonicalized away) unless Shards > 0.
+	// stitch. Ignored (and canonicalized away) unless the sharded
+	// engine runs.
 	ShardStitchOnly bool `json:"shardStitchOnly,omitempty"`
 	// Verify runs the chordality check (and maximality audit on small
 	// inputs) on the result; omitted means true.
 	Verify *bool `json:"verify,omitempty"`
 }
 
-// jobSpec is a fully normalized job description: the canonical input
-// identity plus resolved option enums. Equal jobSpecs produce the same
-// Key regardless of how the request spelled them.
+// Spec decodes the wire options into a normalized chordal.Spec for the
+// given source — the thin mapping layer between the HTTP API and the
+// library's one spec representation.
+func (o JobOptions) Spec(source string) (chordal.Spec, error) {
+	return chordal.Spec{
+		V:       chordal.SpecVersion,
+		Source:  source,
+		Relabel: o.Relabel,
+		Engine:  o.Engine,
+		EngineConfig: chordal.EngineConfig{
+			Variant:         o.Variant,
+			Schedule:        o.Schedule,
+			Workers:         o.Workers,
+			Repair:          o.Repair,
+			Stitch:          o.Stitch,
+			Partitions:      o.Partitions,
+			Shards:          o.Shards,
+			ShardStitchOnly: o.ShardStitchOnly,
+		},
+		Verify: o.Verify == nil || *o.Verify,
+	}.Normalize()
+}
+
+// jobSpec pairs a normalized chordal.Spec with its canonical identity —
+// the service holds no option-normalization or hashing logic of its
+// own; the key is chordal.Spec.Canonical() verbatim.
 type jobSpec struct {
-	source          string // canonical Source spec, or "upload:<sha256>" for uploads
-	generated       bool   // source is a deterministic generator spec
-	variant         chordal.Variant
-	schedule        chordal.Schedule
-	relabel         chordal.RelabelMode
-	workers         int
-	repair          bool
-	stitch          bool
-	verify          bool
-	shards          int
-	shardStitchOnly bool
+	// spec is the normalized run description (canonical source,
+	// explicit engine, defaulted enums).
+	spec chordal.Spec
+	// key is spec.Canonical(), the cache/dedup identity shared with the
+	// CLI and library.
+	key string
+	// generated reports a deterministic generator source, the inputs
+	// the input cache may hold.
+	generated bool
+	// deterministic reports that reruns see the same input (generator
+	// or content-addressed upload), making results cacheable.
+	deterministic bool
 }
 
-// normalizeOptions resolves the wire options to their canonical enum
-// values, rejecting unknown names.
-func normalizeOptions(o JobOptions) (jobSpec, error) {
-	var spec jobSpec
-	var err error
-	if spec.variant, err = chordal.ParseVariant(o.Variant); err != nil {
-		return spec, err
-	}
-	if spec.schedule, err = chordal.ParseSchedule(o.Schedule); err != nil {
-		return spec, err
-	}
-	if spec.relabel, err = chordal.ParseRelabel(o.Relabel); err != nil {
-		return spec, err
-	}
-	spec.workers = o.Workers
-	if spec.workers < 0 {
-		spec.workers = 0
-	}
-	spec.repair = o.Repair
-	spec.stitch = o.Stitch
-	spec.verify = o.Verify == nil || *o.Verify
-	if o.Shards < 0 {
-		return spec, fmt.Errorf("service: shards %d must be >= 0", o.Shards)
-	}
-	spec.shards = o.Shards
-	// ShardStitchOnly has no effect without sharding; canonicalize it
-	// away so {"shardStitchOnly":true} alone does not split identity.
-	spec.shardStitchOnly = o.ShardStitchOnly && o.Shards > 0
-	return spec, nil
-}
-
-// newJobSpec normalizes a Source-based request: the source is parsed
-// and canonicalized (defaults filled, whitespace trimmed), the options
-// resolved. Unless allowPaths is set, sources that are not generator
-// specs are rejected — a network-facing server must not let clients
+// newJobSpec decodes and normalizes a Source-based request. Unless
+// allowPaths is set, sources that are neither generator specs nor
+// uploads are rejected — a network-facing server must not let clients
 // name arbitrary server files (error messages and results would
 // disclose their contents); uploads are the supported way to submit
 // graph data.
@@ -120,32 +122,40 @@ func newJobSpec(req JobRequest, allowPaths bool) (jobSpec, error) {
 	if strings.TrimSpace(req.Source) == "" {
 		return jobSpec{}, fmt.Errorf("service: job needs a source (or a multipart graph upload)")
 	}
-	src, err := chordal.ParseSource(req.Source)
+	spec, err := req.Options.Spec(req.Source)
 	if err != nil {
 		return jobSpec{}, err
+	}
+	src, err := chordal.ParseSource(spec.Source)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	if src.ContentAddressed() {
+		// An upload identity names bytes this request did not carry; a
+		// job built from it could only fail at load time — and, being
+		// cacheable, could absorb a genuine concurrent upload of the
+		// same graph via single-flight and fail that too.
+		return jobSpec{}, fmt.Errorf("service: source %q is an upload identity; submit the graph bytes as a multipart upload instead", spec.Source)
 	}
 	if !src.Generated() && !allowPaths {
 		return jobSpec{}, fmt.Errorf("service: file-path sources are disabled (upload the graph, or start the server with path sources allowed)")
 	}
-	spec, err := normalizeOptions(req.Options)
+	return finishJobSpec(spec, src)
+}
+
+// finishJobSpec derives the canonical key and cacheability of a
+// normalized spec.
+func finishJobSpec(spec chordal.Spec, src chordal.Source) (jobSpec, error) {
+	key, err := spec.Canonical()
 	if err != nil {
 		return jobSpec{}, err
 	}
-	spec.source = src.Canonical()
-	spec.generated = src.Generated()
-	return spec, nil
-}
-
-// uploadSource returns the canonical source identity of uploaded graph
-// bytes: the decode format plus the full SHA-256 content digest. The
-// format is part of the identity because the same bytes decode to
-// different graphs under different parsers (Matrix Market is 1-based
-// with comment banners; edge lists are 0-based); within one format,
-// re-uploading the same bytes hits the caches no matter the filename.
-// Takes the digest rather than the bytes so callers can hash a
-// streamed upload without buffering it.
-func uploadSource(format string, digest [sha256.Size]byte) string {
-	return "upload:" + format + ":" + hex.EncodeToString(digest[:])
+	return jobSpec{
+		spec:          spec,
+		key:           key,
+		generated:     src.Generated(),
+		deterministic: src.Generated() || src.ContentAddressed(),
+	}, nil
 }
 
 // cacheable reports whether completed extractions for this spec may be
@@ -153,40 +163,8 @@ func uploadSource(format string, digest [sha256.Size]byte) string {
 // their canonical form and uploads are content-addressed, but a file
 // path's contents can change between loads, so path-sourced jobs are
 // always re-run.
-func (s jobSpec) cacheable() bool {
-	return s.generated || strings.HasPrefix(s.source, "upload:")
-}
+func (s jobSpec) cacheable() bool { return s.deterministic }
 
-// Key returns the result-cache identity of the job: a hash of the
-// canonical source and every option that can change the extracted
-// subgraph. Workers is deliberately excluded — the dataflow schedule's
-// edge set is worker-count independent, and for the async schedule any
-// run's output is an equally valid representative — so a repeat of the
-// same spec at a different parallelism is still a cache hit.
-func (s jobSpec) Key() string {
-	h := sha256.New()
-	fmt.Fprintf(h, "src=%s;variant=%s;schedule=%s;relabel=%d;repair=%t;stitch=%t;verify=%t;shards=%d;shardstitchonly=%t",
-		s.source, s.variant, s.schedule, s.relabel, s.repair, s.stitch, s.verify,
-		s.shards, s.shardStitchOnly)
-	return hex.EncodeToString(h.Sum(nil)[:16])
-}
-
-// Pipeline materializes the chordal.Pipeline for this spec. The caller
-// wires Input, OnStage and OnIteration before running.
-func (s jobSpec) Pipeline() chordal.Pipeline {
-	return chordal.Pipeline{
-		Source:          s.source,
-		Relabel:         s.relabel,
-		Extract:         true,
-		Shards:          s.shards,
-		ShardStitchOnly: s.shardStitchOnly,
-		Options: chordal.Options{
-			Variant:          s.variant,
-			Schedule:         s.schedule,
-			Workers:          s.workers,
-			RepairMaximality: s.repair,
-			StitchComponents: s.stitch,
-		},
-		Verify: s.verify,
-	}
-}
+// Key returns the job's cache/dedup identity: the spec's canonical
+// encoding, shared verbatim with chordal.Spec.Canonical callers.
+func (s jobSpec) Key() string { return s.key }

@@ -3,7 +3,10 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"strings"
 	"testing"
+
+	"chordal"
 )
 
 func specKey(t *testing.T, req JobRequest) string {
@@ -111,9 +114,46 @@ func TestCanonicalKeyRejectsBadSpecs(t *testing.T) {
 		{Source: "gnm:1000:5000", Options: JobOptions{Schedule: "eventually"}},
 		{Source: "gnm:1000:5000", Options: JobOptions{Relabel: "random"}},
 		{Source: "gnm:1000:5000", Options: JobOptions{Shards: -1}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Engine: "warp"}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Engine: "serial", Shards: 4}},
+		{Source: "gnm:1000:5000", Options: JobOptions{Partitions: 2, Shards: 4}},
 	} {
 		if _, err := newJobSpec(req, false); err == nil {
 			t.Errorf("newJobSpec(%+v): want error", req)
+		}
+	}
+}
+
+// TestEngineOptionWired pins the engine field of the wire options: a
+// named engine lands in the canonical key, implied engines (shards /
+// partitions) resolve to the same identity as their explicit spelling,
+// and the service itself adds no engine logic beyond the decode.
+func TestEngineOptionWired(t *testing.T) {
+	serial := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{Engine: "serial"}})
+	if !strings.Contains(serial, "engine=serial") {
+		t.Errorf("serial key %q does not carry the engine", serial)
+	}
+	implicit := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{Shards: 4}})
+	explicit := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{Engine: "sharded", Shards: 4}})
+	if implicit != explicit {
+		t.Errorf("implicit sharded key %q != explicit %q", implicit, explicit)
+	}
+	partImplicit := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{Partitions: 4}})
+	partExplicit := specKey(t, JobRequest{Source: "gnm:1000:5000", Options: JobOptions{Engine: "partitioned", Partitions: 4}})
+	if partImplicit != partExplicit {
+		t.Errorf("implicit partitioned key %q != explicit %q", partImplicit, partExplicit)
+	}
+}
+
+// TestUploadSourcesRejectedInJSON pins that an upload identity cannot
+// be submitted as a plain JSON source: the request carries no graph
+// bytes, so the job could only fail — and, via single-flight, drag a
+// genuine concurrent upload of the same graph down with it.
+func TestUploadSourcesRejectedInJSON(t *testing.T) {
+	src := chordal.UploadSource("edges", sha256.Sum256([]byte("0 1\n")))
+	for _, allowPaths := range []bool{false, true} {
+		if _, err := newJobSpec(JobRequest{Source: src}, allowPaths); err == nil {
+			t.Errorf("upload identity accepted as JSON source (allowPaths=%t)", allowPaths)
 		}
 	}
 }
@@ -133,9 +173,9 @@ func TestPathSourcesGated(t *testing.T) {
 }
 
 func TestUploadSourceContentAddressed(t *testing.T) {
-	a := uploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n")))
-	b := uploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n")))
-	c := uploadSource("edges", sha256.Sum256([]byte("0 1\n1 3\n")))
+	a := chordal.UploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n")))
+	b := chordal.UploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n")))
+	c := chordal.UploadSource("edges", sha256.Sum256([]byte("0 1\n1 3\n")))
 	if a != b {
 		t.Errorf("identical content hashed differently: %s vs %s", a, b)
 	}
@@ -144,7 +184,7 @@ func TestUploadSourceContentAddressed(t *testing.T) {
 	}
 	// The same bytes decode differently under a different parser, so
 	// the format is part of the identity.
-	if d := uploadSource("mtx", sha256.Sum256([]byte("0 1\n1 2\n"))); d == a {
+	if d := chordal.UploadSource("mtx", sha256.Sum256([]byte("0 1\n1 2\n"))); d == a {
 		t.Errorf("same bytes under different formats collided: %s", d)
 	}
 }

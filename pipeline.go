@@ -3,338 +3,30 @@ package chordal
 import (
 	"context"
 	"fmt"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"time"
-
-	"chordal/internal/analysis"
-	"chordal/internal/biogen"
-	"chordal/internal/core"
-	"chordal/internal/dearing"
-	"chordal/internal/graph"
-	"chordal/internal/partition"
-	"chordal/internal/rmat"
-	"chordal/internal/shard"
-	"chordal/internal/synth"
-	"chordal/internal/verify"
 )
 
-// This file implements the end-to-end ingestion-to-output pipeline:
+// This file keeps the original flat Pipeline struct as a thin adapter
+// over the declarative Spec API. New code should build a Spec (one
+// versioned, serializable description of the whole run) and execute it
+// with Spec.Run or a Runner; the Pipeline fields map one-to-one onto
+// Spec fields and its three callbacks onto the unified Event stream.
+
+// Pipeline is the legacy end-to-end flow description: acquire →
+// relabel → extract → verify → write, with one boolean/int field per
+// extraction mode. It compiles to a Spec (see Pipeline.Spec) and runs
+// through the same Runner as every other entry point; conflicting mode
+// fields (say Serial together with Shards) are validation errors.
 //
-//	acquire (load file / generate) → relabel → extract → verify → write
-//
-// Every stage is parallel under the shared internal/parallel runtime,
-// so the full flow — not just the extraction kernel — scales with
-// cores. The CLI tools (cmd/chordal, cmd/graphgen, cmd/graphstats,
-// cmd/benchrunner) are thin flag layers over Pipeline and Source, and
-// the HTTP service (cmd/chordald) runs Pipeline jobs with progress
-// callbacks and cancellable contexts.
-//
-// # Source spec grammar
-//
-// A Source is either a path to a graph file (.bin binary CSR, .mtx
-// Matrix Market, anything else a text edge list) or a generator spec
-// "family:arg:arg..." with colon-separated arguments; trailing
-// arguments with defaults may be omitted. The SourceSpecs constant is
-// the authoritative one-line-per-family grammar (the CLIs print it in
-// their usage text). Family names are case-insensitive; seed defaults
-// to 42, edgefactor to 8, downscale to 8. Source.Canonical returns
-// the lowercased, default-filled form that cache keys are built from.
-
-// Source describes where a pipeline input graph comes from: a file
-// path, or a generator spec of the form "family:arg:arg...". Use
-// ParseSource to build one from a string.
-type Source struct {
-	spec      string
-	canon     string
-	generated bool
-	load      func(workers int) (*Graph, error)
-}
-
-// String returns the spec the source was parsed from.
-func (s Source) String() string { return s.spec }
-
-// Canonical returns the normalized form of the spec: the generator
-// family lowercased and every optional argument filled in with its
-// default, so that two specs naming the same input ("rmat-er:14",
-// "RMAT-ER:14:42:8", " rmat-er:14 ") canonicalize identically. File
-// paths are path-cleaned. The service layer keys its caches on this.
-func (s Source) Canonical() string { return s.canon }
-
-// Generated reports whether the source is a synthetic generator spec,
-// whose Load is deterministic in the canonical spec — safe to cache by
-// Canonical — as opposed to a file path, whose contents may change
-// between loads.
-func (s Source) Generated() bool { return s.generated }
-
-// Load acquires the graph (reading or generating it) at machine width.
-func (s Source) Load() (*Graph, error) {
-	return s.LoadWorkers(0)
-}
-
-// LoadWorkers acquires the graph with the parallel parts of reading or
-// generating bounded to the given worker count (<= 0 means machine
-// width). Generated graphs are identical whatever the bound — sampling
-// runs on fixed PRNG streams — so caching by Canonical stays sound
-// while each service job loads inside its own budget lease.
-func (s Source) LoadWorkers(workers int) (*Graph, error) {
-	if s.load == nil {
-		return nil, fmt.Errorf("chordal: empty source")
-	}
-	return s.load(workers)
-}
-
-// SourceSpecs documents the generator spec grammar understood by
-// ParseSource, one spec per line.
-const SourceSpecs = `rmat-er:scale[:seed[:edgefactor]]   R-MAT, uniform quadrants
-rmat-g:scale[:seed[:edgefactor]]    R-MAT, skewed (communities)
-rmat-b:scale[:seed[:edgefactor]]    R-MAT, heavily skewed
-gse5140-crt[:downscale[:seed]]      bio suite (also -unt, gse17072-ctl, -non)
-gnm:n:m[:seed]                      uniform random G(n,m)
-ws:n:k:beta[:seed]                  Watts-Strogatz small world
-geo:n:radius[:seed]                 random geometric
-ktree:n:k[:seed]                    k-tree (chordal ground truth)
-<path>                              graph file (.bin/.mtx/edge list)`
-
-// ParseSource parses a file path or generator spec. Any spec whose
-// first colon-separated field is not a known generator family is
-// treated as a file path. Surrounding whitespace is ignored.
-func ParseSource(spec string) (Source, error) {
-	spec = strings.TrimSpace(spec)
-	fields := strings.Split(spec, ":")
-	head := strings.ToLower(fields[0])
-	args := fields[1:]
-
-	intArg := func(i int, name string, def int64) (int64, error) {
-		if i >= len(args) || args[i] == "" {
-			return def, nil
-		}
-		v, err := strconv.ParseInt(args[i], 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("chordal: source %q: bad %s %q", spec, name, args[i])
-		}
-		return v, nil
-	}
-	floatArg := func(i int, name string) (float64, error) {
-		if i >= len(args) {
-			return 0, fmt.Errorf("chordal: source %q: missing %s", spec, name)
-		}
-		v, err := strconv.ParseFloat(args[i], 64)
-		if err != nil {
-			return 0, fmt.Errorf("chordal: source %q: bad %s %q", spec, name, args[i])
-		}
-		return v, nil
-	}
-
-	switch head {
-	case "rmat-er", "rmat-g", "rmat-b":
-		preset := map[string]RMATPreset{"rmat-er": RMATER, "rmat-g": RMATG, "rmat-b": RMATB}[head]
-		scale, err := intArg(0, "scale", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		if scale < 0 {
-			return Source{}, fmt.Errorf("chordal: source %q: missing scale", spec)
-		}
-		seed, err := intArg(1, "seed", 42)
-		if err != nil {
-			return Source{}, err
-		}
-		edgeFactor, err := intArg(2, "edgefactor", 8)
-		if err != nil {
-			return Source{}, err
-		}
-		canon := fmt.Sprintf("%s:%d:%d:%d", head, scale, seed, edgeFactor)
-		return Source{spec, canon, true, func(workers int) (*Graph, error) {
-			p := rmat.PresetParams(preset, int(scale), uint64(seed))
-			p.EdgeFactor = int(edgeFactor)
-			p.Workers = workers
-			return rmat.Generate(p)
-		}}, nil
-
-	case "gse5140-crt", "gse5140-unt", "gse17072-ctl", "gse17072-non":
-		dataset := map[string]BioDataset{
-			"gse5140-crt": GSE5140CRT, "gse5140-unt": GSE5140UNT,
-			"gse17072-ctl": GSE17072CTL, "gse17072-non": GSE17072NON,
-		}[head]
-		downscale, err := intArg(0, "downscale", 8)
-		if err != nil {
-			return Source{}, err
-		}
-		seed, err := intArg(1, "seed", 42)
-		if err != nil {
-			return Source{}, err
-		}
-		canon := fmt.Sprintf("%s:%d:%d", head, downscale, seed)
-		return Source{spec, canon, true, func(workers int) (*Graph, error) {
-			p := biogen.PresetParams(dataset, int(downscale), uint64(seed))
-			p.Workers = workers
-			return biogen.Generate(p)
-		}}, nil
-
-	case "gnm":
-		n, err := intArg(0, "n", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		m, err := intArg(1, "m", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		if n < 0 || m < 0 {
-			return Source{}, fmt.Errorf("chordal: source %q: need gnm:n:m", spec)
-		}
-		seed, err := intArg(2, "seed", 42)
-		if err != nil {
-			return Source{}, err
-		}
-		canon := fmt.Sprintf("gnm:%d:%d:%d", n, m, seed)
-		return Source{spec, canon, true, func(workers int) (*Graph, error) {
-			return synth.GNM(int(n), m, uint64(seed), workers), nil
-		}}, nil
-
-	case "ws":
-		n, err := intArg(0, "n", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		k, err := intArg(1, "k", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		if n < 0 || k < 0 {
-			return Source{}, fmt.Errorf("chordal: source %q: need ws:n:k:beta", spec)
-		}
-		beta, err := floatArg(2, "beta")
-		if err != nil {
-			return Source{}, err
-		}
-		seed, err := intArg(3, "seed", 42)
-		if err != nil {
-			return Source{}, err
-		}
-		canon := fmt.Sprintf("ws:%d:%d:%s:%d", n, k, strconv.FormatFloat(beta, 'g', -1, 64), seed)
-		return Source{spec, canon, true, func(workers int) (*Graph, error) {
-			return synth.WattsStrogatz(int(n), int(k), beta, uint64(seed), workers), nil
-		}}, nil
-
-	case "geo":
-		n, err := intArg(0, "n", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		if n < 0 {
-			return Source{}, fmt.Errorf("chordal: source %q: need geo:n:radius", spec)
-		}
-		radius, err := floatArg(1, "radius")
-		if err != nil {
-			return Source{}, err
-		}
-		seed, err := intArg(2, "seed", 42)
-		if err != nil {
-			return Source{}, err
-		}
-		canon := fmt.Sprintf("geo:%d:%s:%d", n, strconv.FormatFloat(radius, 'g', -1, 64), seed)
-		return Source{spec, canon, true, func(workers int) (*Graph, error) {
-			return synth.RandomGeometric(int(n), radius, uint64(seed), workers), nil
-		}}, nil
-
-	case "ktree":
-		n, err := intArg(0, "n", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		k, err := intArg(1, "k", -1)
-		if err != nil {
-			return Source{}, err
-		}
-		if n < 0 || k < 0 {
-			return Source{}, fmt.Errorf("chordal: source %q: need ktree:n:k", spec)
-		}
-		seed, err := intArg(2, "seed", 42)
-		if err != nil {
-			return Source{}, err
-		}
-		canon := fmt.Sprintf("ktree:%d:%d:%d", n, k, seed)
-		return Source{spec, canon, true, func(workers int) (*Graph, error) {
-			return synth.KTree(int(n), int(k), uint64(seed), workers), nil
-		}}, nil
-	}
-	// Anything else is a file path.
-	return Source{spec, filepath.Clean(spec), false, func(workers int) (*Graph, error) {
-		return graph.LoadFileWorkers(spec, workers)
-	}}, nil
-}
-
-// ParseVariant parses the CLI names of the extraction variants:
-// auto|opt|unopt.
-func ParseVariant(s string) (Variant, error) {
-	switch strings.ToLower(s) {
-	case "auto", "":
-		return VariantAuto, nil
-	case "opt":
-		return VariantOptimized, nil
-	case "unopt":
-		return VariantUnoptimized, nil
-	}
-	return VariantAuto, fmt.Errorf("chordal: unknown variant %q (want auto|opt|unopt)", s)
-}
-
-// ParseSchedule parses the CLI names of the test schedules:
-// dataflow|async|sync.
-func ParseSchedule(s string) (Schedule, error) {
-	switch strings.ToLower(s) {
-	case "dataflow", "":
-		return ScheduleDataflow, nil
-	case "async":
-		return ScheduleAsync, nil
-	case "sync":
-		return ScheduleSynchronous, nil
-	}
-	return ScheduleDataflow, fmt.Errorf("chordal: unknown schedule %q (want dataflow|async|sync)", s)
-}
-
-// ParseRelabel parses the CLI names of the relabel modes:
-// none|bfs|degree.
-func ParseRelabel(s string) (RelabelMode, error) {
-	switch strings.ToLower(s) {
-	case "none", "":
-		return RelabelNone, nil
-	case "bfs":
-		return RelabelBFS, nil
-	case "degree":
-		return RelabelDegree, nil
-	}
-	return RelabelNone, fmt.Errorf("chordal: unknown relabel mode %q (want none|bfs|degree)", s)
-}
-
-// RelabelMode selects the optional vertex renumbering stage.
-type RelabelMode int
-
-const (
-	// RelabelNone keeps the input numbering.
-	RelabelNone RelabelMode = iota
-	// RelabelBFS renumbers in breadth-first order from vertex 0 (the
-	// paper's connectivity remark below Theorem 2).
-	RelabelBFS
-	// RelabelDegree gives the highest-degree vertices the smallest ids
-	// (the DESIGN.md §5 maximality heuristic).
-	RelabelDegree
-)
-
-// Pipeline is the end-to-end flow: acquire → relabel → extract →
-// verify → write. Zero-value fields disable their stage; only Source
-// (or Input) is required. All stages run on the shared parallel
-// runtime. Run executes with a background context; RunContext makes
-// the whole flow cancellable.
+// Deprecated: build a Spec instead — it is versioned, serializable,
+// and names the engine explicitly; Pipeline survives only as an
+// adapter for existing callers.
 type Pipeline struct {
 	// Source is the input file path or generator spec (see ParseSource).
 	Source string
 	// Input, when non-nil, is used directly as the acquired graph and
 	// Source is ignored. Graphs are immutable, so a cached or shared
-	// instance can be injected safely; this is how the service layer
-	// reuses cached generated inputs across jobs.
+	// instance can be injected safely.
 	Input *Graph
 	// Relabel renumbers vertices before extraction.
 	Relabel RelabelMode
@@ -342,23 +34,18 @@ type Pipeline struct {
 	Extract bool
 	// Options configures the parallel extraction.
 	Options Options
-	// Serial replaces the parallel extraction with the Dearing-Shier-
-	// Warner serial baseline.
+	// Serial selects the Dearing-Shier-Warner serial baseline engine.
 	Serial bool
-	// Partitions > 0 replaces the parallel extraction with the
-	// distributed-style partitioned baseline (plus cycle cleanup).
+	// Partitions > 0 selects the distributed-style partitioned baseline
+	// engine (plus cycle cleanup).
 	Partitions int
-	// Shards > 0 replaces the whole-graph extraction with sharded
-	// extraction: Algorithm 1 runs per contiguous vertex-range shard
-	// (concurrently, inside Options.Workers) and border edges are
-	// reconciled with a chordality-preserving stitch. See
-	// internal/shard and DESIGN.md §7. Options (variant, schedule,
-	// repair) configure the per-shard kernels; Options.RepairMaximality
-	// maps to the merged repair pass.
+	// Shards > 0 selects the sharded extraction engine: Algorithm 1
+	// runs per contiguous vertex-range shard (concurrently, inside
+	// Options.Workers) and border edges are reconciled with a
+	// chordality-preserving stitch. See internal/shard and DESIGN.md §7.
 	Shards int
 	// ShardStitchOnly restricts border reconciliation to the spanning
-	// stitch (bridges only); the default additionally admits border
-	// edges that provably keep the merged subgraph chordal.
+	// stitch (bridges only).
 	ShardStitchOnly bool
 	// Verify checks the extracted subgraph for chordality and, on
 	// small inputs, audits maximality.
@@ -372,24 +59,103 @@ type Pipeline struct {
 	// OnIteration, when non-nil, receives each extraction iteration's
 	// statistics as its barrier completes — the pipeline-level mirror of
 	// Options.OnIteration (which it chains with, not replaces). Only the
-	// parallel extraction stage reports iterations; the serial and
-	// partitioned baselines do not.
+	// parallel engine reports whole-graph iterations.
 	OnIteration func(IterationStats)
 	// OnShardIteration, when non-nil, receives each shard kernel's
 	// iteration statistics during a sharded extraction (Shards > 0).
 	// Shards extract concurrently, so the callback may be invoked
-	// concurrently for different shards; the service layer serializes
-	// the SSE events it emits from this hook.
+	// concurrently for different shards.
 	OnShardIteration func(shard int, it IterationStats)
+}
+
+// Spec compiles the Pipeline to its declarative equivalent. Conflicting
+// mode fields (more than one of Serial / Partitions / Shards) surface
+// as validation errors from Spec.Normalize rather than being resolved
+// by silent precedence.
+func (p Pipeline) Spec() (Spec, error) {
+	if p.Relabel < RelabelNone || p.Relabel > RelabelDegree {
+		return Spec{}, fmt.Errorf("chordal: unknown relabel mode %d", p.Relabel)
+	}
+	engine := ""
+	if p.Serial {
+		engine = EngineSerial
+	}
+	if !p.Extract && !p.Serial && p.Partitions == 0 && p.Shards == 0 {
+		engine = EngineNone
+	}
+	opts := p.Options
+	return Spec{
+		V:       SpecVersion,
+		Source:  p.Source,
+		Relabel: p.Relabel.String(),
+		Engine:  engine,
+		EngineConfig: EngineConfig{
+			Variant:         variantName(p.Options.Variant),
+			Schedule:        scheduleName(p.Options.Schedule),
+			Workers:         p.Options.Workers,
+			Repair:          p.Options.RepairMaximality,
+			Stitch:          p.Options.StitchComponents,
+			Partitions:      p.Partitions,
+			Shards:          p.Shards,
+			ShardStitchOnly: p.ShardStitchOnly,
+			Core:            &opts,
+		},
+		Verify: p.Verify,
+		Output: p.Output,
+	}, nil
+}
+
+// observer adapts the Pipeline's three callbacks onto the unified
+// event stream; nil when no callback is set.
+func (p Pipeline) observer() Observer {
+	if p.OnStage == nil && p.OnIteration == nil && p.OnShardIteration == nil {
+		return nil
+	}
+	return func(ev Event) {
+		switch ev.Type {
+		case EventStageBegin:
+			if p.OnStage != nil {
+				p.OnStage(ev.Stage)
+			}
+		case EventIteration:
+			if ev.Shard != nil {
+				if p.OnShardIteration != nil {
+					p.OnShardIteration(*ev.Shard, *ev.Stats)
+				}
+			} else if p.OnIteration != nil {
+				p.OnIteration(*ev.Stats)
+			}
+		}
+	}
+}
+
+// Run executes the pipeline with a background context.
+func (p Pipeline) Run() (*PipelineResult, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext compiles the pipeline to a Spec and executes it under ctx
+// through the shared Runner; see Runner.Run for the cancellation
+// contract.
+func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
+	s, err := p.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return Runner{Input: p.Input, Observer: p.observer()}.Run(ctx, s)
 }
 
 // PartitionSummary reports the partitioned-baseline stage.
 type PartitionSummary struct {
-	Parts          int
-	InteriorEdges  int
-	BorderAdmitted int
-	CleanupRemoved int
-	CleanupRounds  int
+	// Parts is the partition count used.
+	Parts int `json:"parts"`
+	// InteriorEdges and BorderAdmitted count edges kept inside parts and
+	// across the border; CleanupRemoved/CleanupRounds report the cycle
+	// cleanup pass.
+	InteriorEdges  int `json:"interiorEdges"`
+	BorderAdmitted int `json:"borderAdmitted"`
+	CleanupRemoved int `json:"cleanupRemoved"`
+	CleanupRounds  int `json:"cleanupRounds"`
 }
 
 // ShardSummary reports the sharded extraction stage: how the input was
@@ -397,31 +163,32 @@ type PartitionSummary struct {
 // reconciled.
 type ShardSummary struct {
 	// Shards is the shard count actually used (after clamping).
-	Shards int
+	Shards int `json:"shards"`
 	// PerShardIterations and PerShardEdges have one entry per shard:
 	// the kernel's iteration count and chordal edge count.
-	PerShardIterations []int
-	PerShardEdges      []int
+	PerShardIterations []int `json:"perShardIterations"`
+	PerShardEdges      []int `json:"perShardEdges"`
 	// InteriorEdges is the merged per-shard chordal edge total before
 	// border reconciliation.
-	InteriorEdges int
+	InteriorEdges int `json:"interiorEdges"`
 	// BorderTotal is the number of input edges crossing shards;
 	// StitchedEdges counts spanning-stitch additions (BorderBridges the
 	// cross-shard subset); BorderAdmitted counts border edges admitted
 	// by the exact chordality-preserving pass; RepairedEdges counts the
 	// merged repair pass additions.
-	BorderTotal    int
-	StitchedEdges  int
-	BorderBridges  int
-	BorderAdmitted int
-	RepairedEdges  int
+	BorderTotal    int `json:"borderTotal"`
+	StitchedEdges  int `json:"stitchedEdges"`
+	BorderBridges  int `json:"borderBridges"`
+	BorderAdmitted int `json:"borderAdmitted"`
+	RepairedEdges  int `json:"repairedEdges"`
 	// Chordal is the shard stage's own verification of the merged
 	// subgraph (always expected true; a self-check of reconciliation).
-	Chordal bool
+	Chordal bool `json:"chordal"`
 }
 
 // StageTiming is the wall-clock duration of one pipeline stage.
 type StageTiming struct {
+	// Stage is the stage name; Duration its wall-clock time.
 	Stage    string
 	Duration time.Duration
 }
@@ -455,183 +222,4 @@ type PipelineResult struct {
 	ReAddableEdges    int
 	// Timings records per-stage wall-clock durations in stage order.
 	Timings []StageTiming
-}
-
-// maxAuditEdges bounds the input size for the maximality audit, whose
-// cost grows with the number of absent edges.
-const maxAuditEdges = 200000
-
-// Run executes the pipeline with a background context.
-func (p Pipeline) Run() (*PipelineResult, error) {
-	return p.RunContext(context.Background())
-}
-
-// RunContext executes the pipeline under ctx. Cancellation is observed
-// between stages and, during the parallel extraction stage, between
-// iterations of the extract loop; the first error returned after
-// cancellation is ctx.Err(). A canceled run leaves no goroutines
-// behind.
-func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
-	res := &PipelineResult{}
-	mark := func(stage string, start time.Time) {
-		res.Timings = append(res.Timings, StageTiming{stage, time.Since(start)})
-	}
-	enter := func(stage string) time.Time {
-		if p.OnStage != nil {
-			p.OnStage(stage)
-		}
-		return time.Now()
-	}
-
-	// Check before acquire: a run canceled while queued must not pay
-	// for the most expensive stage (loading or generating the input).
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	var g *Graph
-	if p.Input != nil {
-		g = p.Input
-	} else {
-		src, err := ParseSource(p.Source)
-		if err != nil {
-			return nil, err
-		}
-		start := enter("acquire")
-		var loadErr error
-		g, loadErr = src.LoadWorkers(p.Options.Workers)
-		if loadErr != nil {
-			return nil, loadErr
-		}
-		mark("acquire", start)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	if p.Relabel != RelabelNone {
-		start := enter("relabel")
-		switch p.Relabel {
-		case RelabelBFS:
-			g = g.RelabelWorkers(analysis.BFSOrder(g, 0), p.Options.Workers)
-		case RelabelDegree:
-			g = g.RelabelWorkers(analysis.DegreeOrder(g), p.Options.Workers)
-		default:
-			return nil, fmt.Errorf("chordal: unknown relabel mode %d", p.Relabel)
-		}
-		mark("relabel", start)
-	}
-	res.Input = g
-	res.InputStats = ComputeStats(g)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	extracting := p.Extract || p.Serial || p.Partitions > 0 || p.Shards > 0
-	if extracting {
-		start := enter("extract")
-		switch {
-		case p.Serial:
-			r := dearing.Extract(g, 0)
-			res.SerialDuration = r.Total
-			res.Subgraph = r.ToGraph(g.NumVertices())
-		case p.Partitions > 0:
-			r, rep := partition.ExtractAndClean(g, p.Partitions)
-			res.Partition = &PartitionSummary{
-				Parts:          r.Parts,
-				InteriorEdges:  r.InteriorEdges,
-				BorderAdmitted: r.BorderAdmitted,
-				CleanupRemoved: rep.Removed,
-				CleanupRounds:  rep.Rounds,
-			}
-			res.Subgraph = r.ToGraph(g.NumVertices())
-		case p.Shards > 0:
-			opts := shard.Options{
-				Shards:     p.Shards,
-				Core:       p.Options,
-				StitchOnly: p.ShardStitchOnly,
-				Repair:     p.Options.RepairMaximality,
-			}
-			if p.OnShardIteration != nil {
-				opts.OnShardIteration = p.OnShardIteration
-			}
-			r, err := shard.ExtractContext(ctx, g, opts)
-			if err != nil {
-				return nil, err
-			}
-			sum := &ShardSummary{
-				Shards:         len(r.Shards),
-				BorderTotal:    r.BorderTotal,
-				StitchedEdges:  r.StitchedEdges,
-				BorderBridges:  r.BorderBridges,
-				BorderAdmitted: r.BorderAdmitted,
-				RepairedEdges:  r.RepairedEdges,
-				Chordal:        r.Chordal,
-			}
-			for _, st := range r.Shards {
-				sum.PerShardIterations = append(sum.PerShardIterations, st.Iterations)
-				sum.PerShardEdges = append(sum.PerShardEdges, st.ChordalEdges)
-				sum.InteriorEdges += st.ChordalEdges
-			}
-			res.Shard = sum
-			res.Subgraph = r.Subgraph
-		default:
-			opts := p.Options
-			if p.OnIteration != nil {
-				inner := opts.OnIteration
-				opts.OnIteration = func(it IterationStats) {
-					if inner != nil {
-						inner(it)
-					}
-					p.OnIteration(it)
-				}
-			}
-			r, err := core.ExtractContext(ctx, g, opts)
-			if err != nil {
-				return nil, err
-			}
-			res.Extraction = r
-			res.Subgraph = r.ToGraph()
-		}
-		mark("extract", start)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	if p.Verify {
-		if res.Subgraph == nil {
-			return nil, fmt.Errorf("chordal: pipeline verify requires an extraction stage")
-		}
-		start := enter("verify")
-		res.Verified = true
-		if res.Shard != nil {
-			// The shard stage already ran the chordality check on this
-			// exact subgraph as its reconciliation self-check; reuse it
-			// rather than paying the O(V+E) MCS+PEO pass twice.
-			res.ChordalOK = res.Shard.Chordal
-		} else {
-			res.ChordalOK = verify.IsChordal(res.Subgraph)
-		}
-		if res.ChordalOK && g.NumEdges() <= maxAuditEdges {
-			res.MaximalityAudited = true
-			res.ReAddableEdges = len(verify.AuditMaximality(g, res.Subgraph, 10))
-		}
-		mark("verify", start)
-	}
-
-	if p.Output != "" {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		start := enter("write")
-		out := res.Subgraph
-		if out == nil {
-			out = res.Input
-		}
-		if err := graph.SaveFile(p.Output, out); err != nil {
-			return nil, err
-		}
-		mark("write", start)
-	}
-	return res, nil
 }

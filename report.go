@@ -1,0 +1,137 @@
+package chordal
+
+// This file defines the machine-readable summary of a finished run:
+// one JSON object carrying the normalized spec, its canonical identity,
+// input statistics, the engine summary, the verify outcome, and
+// per-stage timings. `chordal -json` emits it on stdout so benchrunner
+// and CI consume runs without scraping text.
+
+// ReportInput describes the acquired (and possibly relabeled) input
+// graph in a RunReport.
+type ReportInput struct {
+	// Vertices and Edges size the graph.
+	Vertices int   `json:"vertices"`
+	Edges    int64 `json:"edges"`
+	// AvgDegree and MaxDegree summarize the degree distribution.
+	AvgDegree float64 `json:"avgDegree"`
+	MaxDegree int     `json:"maxDegree"`
+}
+
+// ReportExtraction summarizes the engine stage in a RunReport.
+type ReportExtraction struct {
+	// Engine is the engine that ran.
+	Engine string `json:"engine"`
+	// ChordalEdges is |EC|; EdgesKeptPct its share of the input edges.
+	ChordalEdges int64   `json:"chordalEdges"`
+	EdgesKeptPct float64 `json:"edgesKeptPct"`
+	// Iterations is the extract loop's iteration count (parallel
+	// whole-graph engine; sharded runs report per-shard counts in
+	// Shard instead).
+	Iterations int `json:"iterations,omitempty"`
+	// Variant and Schedule are the code path and test ordering actually
+	// used by the parallel engine.
+	Variant  string `json:"variant,omitempty"`
+	Schedule string `json:"schedule,omitempty"`
+	// RepairedEdges and StitchedEdges count post-pass additions.
+	RepairedEdges int `json:"repairedEdges,omitempty"`
+	StitchedEdges int `json:"stitchedEdges,omitempty"`
+	// SerialMillis is the serial baseline's extraction time.
+	SerialMillis float64 `json:"serialMillis,omitempty"`
+	// Partition and Shard carry the baselines' summaries, when used.
+	Partition *PartitionSummary `json:"partition,omitempty"`
+	Shard     *ShardSummary     `json:"shard,omitempty"`
+}
+
+// ReportVerify is the verify stage's outcome in a RunReport.
+type ReportVerify struct {
+	// Chordal reports the chordality check.
+	Chordal bool `json:"chordal"`
+	// MaximalityAudited reports whether the bounded audit ran;
+	// ReAddableEdges counts the violations it found.
+	MaximalityAudited bool `json:"maximalityAudited"`
+	ReAddableEdges    int  `json:"reAddableEdges"`
+}
+
+// ReportTiming is one pipeline stage's wall-clock duration in a
+// RunReport.
+type ReportTiming struct {
+	// Stage is the stage name; Millis its duration.
+	Stage  string  `json:"stage"`
+	Millis float64 `json:"millis"`
+}
+
+// RunReport is the JSON-ready summary of one finished run.
+type RunReport struct {
+	// Spec is the normalized spec the run executed.
+	Spec Spec `json:"spec"`
+	// Canonical is the spec's cache identity (Spec.Canonical).
+	Canonical string `json:"canonical"`
+	// Input describes the acquired input graph.
+	Input ReportInput `json:"input"`
+	// Extraction summarizes the engine stage; nil for engine "none".
+	Extraction *ReportExtraction `json:"extraction,omitempty"`
+	// Verify carries the verify outcome; nil when verification was off.
+	Verify *ReportVerify `json:"verify,omitempty"`
+	// Timings holds per-stage wall-clock durations in stage order;
+	// TotalMillis is their sum.
+	Timings     []ReportTiming `json:"timings"`
+	TotalMillis float64        `json:"totalMillis"`
+}
+
+// Report summarizes a finished run of spec s as one JSON-ready object.
+func Report(s Spec, res *PipelineResult) (RunReport, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return RunReport{}, err
+	}
+	canon, err := n.Canonical()
+	if err != nil {
+		return RunReport{}, err
+	}
+	rep := RunReport{
+		Spec:      n,
+		Canonical: canon,
+		Input: ReportInput{
+			Vertices:  res.InputStats.Vertices,
+			Edges:     res.InputStats.Edges,
+			AvgDegree: res.InputStats.AvgDegree,
+			MaxDegree: res.InputStats.MaxDegree,
+		},
+	}
+	if res.Subgraph != nil {
+		ex := &ReportExtraction{Engine: n.Engine, ChordalEdges: res.Subgraph.NumEdges()}
+		if res.InputStats.Edges > 0 {
+			ex.EdgesKeptPct = 100 * float64(ex.ChordalEdges) / float64(res.InputStats.Edges)
+		}
+		if r := res.Extraction; r != nil {
+			ex.Iterations = len(r.Iterations)
+			ex.Variant = variantName(r.Variant)
+			ex.Schedule = scheduleName(r.Schedule)
+			ex.RepairedEdges = r.RepairedEdges
+			ex.StitchedEdges = r.StitchedEdges
+		}
+		if res.SerialDuration > 0 {
+			ex.SerialMillis = durationMillis(res.SerialDuration)
+		}
+		ex.Partition = res.Partition
+		if sh := res.Shard; sh != nil {
+			ex.Shard = sh
+			ex.RepairedEdges = sh.RepairedEdges
+			ex.StitchedEdges = sh.StitchedEdges
+		}
+		rep.Extraction = ex
+	}
+	if res.Verified {
+		rep.Verify = &ReportVerify{
+			Chordal:           res.ChordalOK,
+			MaximalityAudited: res.MaximalityAudited,
+			ReAddableEdges:    res.ReAddableEdges,
+		}
+	}
+	for _, st := range res.Timings {
+		ms := durationMillis(st.Duration)
+		rep.Timings = append(rep.Timings, ReportTiming{st.Stage, ms})
+		rep.TotalMillis += ms
+	}
+	return rep, nil
+}

@@ -1,0 +1,509 @@
+package chordal
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"chordal/internal/analysis"
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+// This file defines the declarative Spec — the single description of
+// an end-to-end run shared by the library, the CLI tools, and the HTTP
+// service — and the Runner that executes it. A Spec is versioned and
+// JSON-round-trippable; Canonical() is its one normalized encoding,
+// which the service uses verbatim as its cache and dedup key. Engine
+// selection is explicit: conflicting parameters (say, shards on the
+// serial engine) are validation errors, never silent precedence.
+
+// SpecVersion is the current Spec schema version. Normalize fills it
+// into a zero V and rejects any other value, so persisted specs from a
+// future incompatible schema fail loudly instead of being misread.
+const SpecVersion = 1
+
+// EngineConfig parameterizes an extraction Engine. Its JSON fields
+// flatten into the Spec object. The zero value selects the defaults
+// (auto variant, dataflow schedule, machine-width workers).
+type EngineConfig struct {
+	// Variant is the kernel code path: auto|opt|unopt (default auto).
+	Variant string `json:"variant,omitempty"`
+	// Schedule is the subset-test ordering: dataflow|async|sync
+	// (default dataflow).
+	Schedule string `json:"schedule,omitempty"`
+	// Workers bounds the engine's parallelism; <= 0 means machine
+	// width. Excluded from Canonical: the dataflow schedule's edge set
+	// is worker-count independent, and for the async schedule any run's
+	// output is an equally valid representative, so a repeat of the
+	// same spec at a different parallelism still shares one identity.
+	Workers int `json:"workers,omitempty"`
+	// Repair enables the maximality repair post-pass (DESIGN.md §5).
+	Repair bool `json:"repair,omitempty"`
+	// Stitch enables the component stitch post-pass.
+	Stitch bool `json:"stitch,omitempty"`
+	// Partitions is the part count of the partitioned engine; setting
+	// it with any other engine is a validation error.
+	Partitions int `json:"partitions,omitempty"`
+	// Shards is the shard count of the sharded engine; setting it with
+	// any other engine is a validation error.
+	Shards int `json:"shards,omitempty"`
+	// ShardStitchOnly restricts the sharded engine's border
+	// reconciliation to the spanning stitch (bridges only). Normalize
+	// clears it on every other engine so it cannot split identities.
+	ShardStitchOnly bool `json:"shardStitchOnly,omitempty"`
+
+	// Observer receives the run's event stream. Runtime-only: excluded
+	// from JSON and from Canonical.
+	Observer Observer `json:"-"`
+	// Core, when non-nil, seeds the kernel options with advanced
+	// settings the declarative fields do not cover (UnsortedQueue,
+	// OnEvent, chained OnIteration). The declarative fields then
+	// override their counterparts. Runtime-only escape hatch used by
+	// the deprecated Pipeline adapter; excluded from JSON and from
+	// Canonical.
+	Core *Options `json:"-"`
+}
+
+// coreOptions resolves the declarative fields onto the kernel options,
+// starting from the Core escape hatch when present.
+func (c EngineConfig) coreOptions() (Options, error) {
+	var o Options
+	if c.Core != nil {
+		o = *c.Core
+	}
+	var err error
+	if o.Variant, err = ParseVariant(c.Variant); err != nil {
+		return o, err
+	}
+	if o.Schedule, err = ParseSchedule(c.Schedule); err != nil {
+		return o, err
+	}
+	o.Workers = c.Workers
+	o.RepairMaximality = c.Repair
+	o.StitchComponents = c.Stitch
+	return o, nil
+}
+
+// Spec is the versioned, declarative description of one end-to-end run:
+// acquire (Source) → relabel → extract (Engine + EngineConfig) →
+// verify → write (Output). It is JSON-round-trippable, and Canonical
+// returns its single normalized encoding — the identity the service
+// keys every cache on. Execute a Spec with Run/RunContext, or with a
+// Runner to inject a pre-acquired input graph or an Observer.
+type Spec struct {
+	// V is the schema version; 0 normalizes to SpecVersion, any other
+	// mismatch is a validation error.
+	V int `json:"v"`
+	// Source is the input file path, generator spec (see SourceSpecs),
+	// or upload identity. May be empty only when a Runner injects the
+	// input graph directly.
+	Source string `json:"source,omitempty"`
+	// Relabel renumbers vertices before extraction: none|bfs|degree
+	// (default none).
+	Relabel string `json:"relabel,omitempty"`
+	// Engine names the registered extraction engine (see EngineNames),
+	// or "none" to skip extraction. Empty selects parallel — unless
+	// exactly one of Partitions/Shards is set, which implies the
+	// partitioned/sharded engine.
+	Engine string `json:"engine,omitempty"`
+	// EngineConfig parameterizes the engine; its fields flatten into
+	// the spec's JSON object.
+	EngineConfig
+	// Verify checks the extracted subgraph for chordality and, on small
+	// inputs, audits maximality.
+	Verify bool `json:"verify,omitempty"`
+	// Output writes the final graph (the subgraph when an extraction
+	// engine ran, otherwise the input) to this path. Excluded from
+	// Canonical: it changes where the result lands, not what it is.
+	Output string `json:"output,omitempty"`
+}
+
+// Normalize resolves the spec to its canonical form: version filled,
+// source canonicalized (family lowercased, defaults filled), enum
+// names lowercased and defaulted, the engine made explicit, and
+// engine-irrelevant toggles cleared. It validates as it goes — unknown
+// engines or enum names, version mismatches, and conflicting engine
+// selections (partitions or shards against a non-matching engine) are
+// errors, never silent precedence.
+func (s Spec) Normalize() (Spec, error) {
+	n := s
+	switch n.V {
+	case 0:
+		n.V = SpecVersion
+	case SpecVersion:
+	default:
+		return n, fmt.Errorf("chordal: spec version %d unsupported (this release speaks v%d)", n.V, SpecVersion)
+	}
+
+	if src := strings.TrimSpace(n.Source); src == "" {
+		n.Source = ""
+	} else {
+		parsed, err := ParseSource(src)
+		if err != nil {
+			return n, err
+		}
+		n.Source = parsed.Canonical()
+	}
+
+	relabel, err := ParseRelabel(n.Relabel)
+	if err != nil {
+		return n, err
+	}
+	n.Relabel = relabel.String()
+	variant, err := ParseVariant(n.Variant)
+	if err != nil {
+		return n, err
+	}
+	n.Variant = variantName(variant)
+	schedule, err := ParseSchedule(n.Schedule)
+	if err != nil {
+		return n, err
+	}
+	n.Schedule = scheduleName(schedule)
+	if n.Workers < 0 {
+		n.Workers = 0
+	}
+	if n.Partitions < 0 {
+		return n, fmt.Errorf("chordal: spec: partitions %d must be >= 0", n.Partitions)
+	}
+	if n.Shards < 0 {
+		return n, fmt.Errorf("chordal: spec: shards %d must be >= 0", n.Shards)
+	}
+
+	n.Engine = strings.ToLower(strings.TrimSpace(n.Engine))
+	if n.Engine == "" {
+		switch {
+		case n.Partitions > 0 && n.Shards > 0:
+			return n, fmt.Errorf("chordal: spec: partitions=%d and shards=%d conflict; they select different engines", n.Partitions, n.Shards)
+		case n.Partitions > 0:
+			n.Engine = EnginePartitioned
+		case n.Shards > 0:
+			n.Engine = EngineSharded
+		default:
+			n.Engine = EngineParallel
+		}
+	}
+	if n.Engine != EngineNone {
+		if _, ok := LookupEngine(n.Engine); !ok {
+			return n, fmt.Errorf("chordal: spec: unknown engine %q (registered: %s)", n.Engine, strings.Join(EngineNames(), "|"))
+		}
+	}
+	if n.Partitions > 0 && n.Engine != EnginePartitioned {
+		return n, fmt.Errorf("chordal: spec: partitions=%d conflicts with engine %q", n.Partitions, n.Engine)
+	}
+	if n.Shards > 0 && n.Engine != EngineSharded {
+		return n, fmt.Errorf("chordal: spec: shards=%d conflicts with engine %q", n.Shards, n.Engine)
+	}
+	if n.Engine == EnginePartitioned && n.Partitions == 0 {
+		return n, fmt.Errorf("chordal: spec: the partitioned engine needs partitions >= 1")
+	}
+	if n.Engine == EngineSharded && n.Shards == 0 {
+		return n, fmt.Errorf("chordal: spec: the sharded engine needs shards >= 1")
+	}
+	if n.Engine != EngineSharded {
+		// Meaningless off the sharded engine; clear it so a stray
+		// toggle cannot split cache identities.
+		n.ShardStitchOnly = false
+	}
+	if n.Verify && n.Engine == EngineNone {
+		return n, fmt.Errorf("chordal: spec: verify requires an extraction engine")
+	}
+	return n, nil
+}
+
+// Validate reports whether the spec is well-formed, without returning
+// the normalized form.
+func (s Spec) Validate() error {
+	_, err := s.Normalize()
+	return err
+}
+
+// Canonical returns the spec's single normalized encoding — a stable,
+// human-readable k=v line over every identity-bearing field in fixed
+// order. Equal canonical strings mean "same input, same extraction,
+// same result", so the string is used verbatim as the cache and dedup
+// key across the library, CLI, and service (it replaced the service's
+// private option hash). Workers and Output are deliberately excluded:
+// neither changes the extracted subgraph. The encoding is pinned by
+// golden tests; changing it invalidates every persisted cache key.
+func (s Spec) Canonical() (string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("v%d engine=%s relabel=%s variant=%s schedule=%s repair=%t stitch=%t partitions=%d shards=%d stitchonly=%t verify=%t src=%s",
+		n.V, n.Engine, n.Relabel, n.Variant, n.Schedule, n.Repair, n.Stitch,
+		n.Partitions, n.Shards, n.ShardStitchOnly, n.Verify, n.Source), nil
+}
+
+// Deterministic reports whether two runs of this spec are guaranteed
+// the same input graph — true for generator sources (deterministic in
+// their canonical spec) and content-addressed uploads, false for file
+// paths, whose contents may change between loads. Results of
+// deterministic specs are safe to cache by Canonical.
+func (s Spec) Deterministic() bool {
+	src, err := ParseSource(s.Source)
+	if err != nil {
+		return false
+	}
+	return src.Generated() || src.ContentAddressed()
+}
+
+// Run executes the spec with a background context.
+func (s Spec) Run() (*PipelineResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the spec under ctx; see Runner.Run for the
+// execution contract.
+func (s Spec) RunContext(ctx context.Context) (*PipelineResult, error) {
+	return Runner{}.Run(ctx, s)
+}
+
+// Runner executes Specs with execution-time inputs that are not part
+// of the spec's identity: a pre-acquired input graph and an event
+// Observer. The zero value is ready to use.
+type Runner struct {
+	// Input, when non-nil, is used directly as the acquired graph and
+	// the spec's Source is not loaded. Graphs are immutable, so a
+	// cached or shared instance can be injected safely; this is how the
+	// service reuses cached generated inputs and parsed uploads.
+	Input *Graph
+	// Observer, when non-nil, receives the run's unified event stream:
+	// stage begin/end with timing, extraction iterations (tagged with
+	// the shard during sharded extraction, possibly concurrently), and
+	// the verify outcome.
+	Observer Observer
+}
+
+// maxAuditEdges bounds the input size for the maximality audit, whose
+// cost grows with the number of absent edges.
+const maxAuditEdges = 200000
+
+// Run executes the spec under ctx. The spec is normalized first, so
+// validation errors surface before any work. Cancellation is observed
+// between stages and, inside the parallel and sharded engines, between
+// iterations of the extract loop; the first error returned after
+// cancellation is ctx.Err(). A canceled run leaves no goroutines
+// behind.
+func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
+	s, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{}
+	emit := func(ev Event) {
+		if r.Observer != nil {
+			r.Observer(ev)
+		}
+	}
+	enter := func(stage string) time.Time {
+		emit(newStageEvent(stage))
+		return time.Now()
+	}
+	mark := func(stage string, start time.Time) {
+		d := time.Since(start)
+		res.Timings = append(res.Timings, StageTiming{stage, d})
+		emit(newStageEndEvent(stage, d))
+	}
+
+	// Check before acquire: a run canceled while queued must not pay
+	// for the most expensive stage (loading or generating the input).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := r.Input
+	if g == nil {
+		if s.Source == "" {
+			return nil, fmt.Errorf("chordal: spec needs a source (or a Runner-injected input graph)")
+		}
+		src, err := ParseSource(s.Source)
+		if err != nil {
+			return nil, err
+		}
+		start := enter("acquire")
+		g, err = src.LoadWorkers(s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		mark("acquire", start)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if s.Relabel != RelabelNone.String() {
+		start := enter("relabel")
+		mode, err := ParseRelabel(s.Relabel)
+		if err != nil {
+			return nil, err
+		}
+		switch mode {
+		case RelabelBFS:
+			g = g.RelabelWorkers(analysis.BFSOrder(g, 0), s.Workers)
+		case RelabelDegree:
+			g = g.RelabelWorkers(analysis.DegreeOrder(g), s.Workers)
+		}
+		mark("relabel", start)
+	}
+	res.Input = g
+	res.InputStats = ComputeStats(g)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if s.Engine != EngineNone {
+		eng, ok := LookupEngine(s.Engine)
+		if !ok {
+			return nil, fmt.Errorf("chordal: spec: unknown engine %q", s.Engine)
+		}
+		cfg := s.EngineConfig
+		cfg.Observer = r.Observer
+		start := enter("extract")
+		er, err := eng.Extract(ctx, g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Subgraph = er.Subgraph
+		res.Extraction = er.Extraction
+		res.SerialDuration = er.SerialDuration
+		res.Partition = er.Partition
+		res.Shard = er.Shard
+		mark("extract", start)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if s.Verify {
+		if res.Subgraph == nil {
+			return nil, fmt.Errorf("chordal: spec: verify requires an extraction engine")
+		}
+		start := enter("verify")
+		res.Verified = true
+		if res.Shard != nil {
+			// The shard stage already ran the chordality check on this
+			// exact subgraph as its reconciliation self-check; reuse it
+			// rather than paying the O(V+E) MCS+PEO pass twice.
+			res.ChordalOK = res.Shard.Chordal
+		} else {
+			res.ChordalOK = verify.IsChordal(res.Subgraph)
+		}
+		if res.ChordalOK && g.NumEdges() <= maxAuditEdges {
+			res.MaximalityAudited = true
+			res.ReAddableEdges = len(verify.AuditMaximality(g, res.Subgraph, 10))
+		}
+		emit(newVerifyEvent(res.ChordalOK, res.MaximalityAudited, res.ReAddableEdges))
+		mark("verify", start)
+	}
+
+	if s.Output != "" {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := enter("write")
+		out := res.Subgraph
+		if out == nil {
+			out = res.Input
+		}
+		if err := graph.SaveFile(s.Output, out); err != nil {
+			return nil, err
+		}
+		mark("write", start)
+	}
+	return res, nil
+}
+
+// ParseVariant parses the CLI names of the extraction variants:
+// auto|opt|unopt.
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(s) {
+	case "auto", "":
+		return VariantAuto, nil
+	case "opt":
+		return VariantOptimized, nil
+	case "unopt":
+		return VariantUnoptimized, nil
+	}
+	return VariantAuto, fmt.Errorf("chordal: unknown variant %q (want auto|opt|unopt)", s)
+}
+
+// variantName returns the canonical CLI/wire name of a Variant.
+func variantName(v Variant) string {
+	switch v {
+	case VariantOptimized:
+		return "opt"
+	case VariantUnoptimized:
+		return "unopt"
+	default:
+		return "auto"
+	}
+}
+
+// ParseSchedule parses the CLI names of the test schedules:
+// dataflow|async|sync.
+func ParseSchedule(s string) (Schedule, error) {
+	switch strings.ToLower(s) {
+	case "dataflow", "":
+		return ScheduleDataflow, nil
+	case "async":
+		return ScheduleAsync, nil
+	case "sync":
+		return ScheduleSynchronous, nil
+	}
+	return ScheduleDataflow, fmt.Errorf("chordal: unknown schedule %q (want dataflow|async|sync)", s)
+}
+
+// scheduleName returns the canonical CLI/wire name of a Schedule.
+func scheduleName(s Schedule) string {
+	switch s {
+	case ScheduleAsync:
+		return "async"
+	case ScheduleSynchronous:
+		return "sync"
+	default:
+		return "dataflow"
+	}
+}
+
+// ParseRelabel parses the CLI names of the relabel modes:
+// none|bfs|degree.
+func ParseRelabel(s string) (RelabelMode, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return RelabelNone, nil
+	case "bfs":
+		return RelabelBFS, nil
+	case "degree":
+		return RelabelDegree, nil
+	}
+	return RelabelNone, fmt.Errorf("chordal: unknown relabel mode %q (want none|bfs|degree)", s)
+}
+
+// RelabelMode selects the optional vertex renumbering stage.
+type RelabelMode int
+
+const (
+	// RelabelNone keeps the input numbering.
+	RelabelNone RelabelMode = iota
+	// RelabelBFS renumbers in breadth-first order from vertex 0 (the
+	// paper's connectivity remark below Theorem 2).
+	RelabelBFS
+	// RelabelDegree gives the highest-degree vertices the smallest ids
+	// (the DESIGN.md §5 maximality heuristic).
+	RelabelDegree
+)
+
+// String returns the canonical CLI/wire name of the mode.
+func (m RelabelMode) String() string {
+	switch m {
+	case RelabelBFS:
+		return "bfs"
+	case RelabelDegree:
+		return "degree"
+	default:
+		return "none"
+	}
+}

@@ -1,0 +1,365 @@
+package chordal_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"chordal"
+)
+
+// mustCanonical returns the canonical encoding or fails the test.
+func mustCanonical(t *testing.T, s chordal.Spec) string {
+	t.Helper()
+	c, err := s.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical(%+v): %v", s, err)
+	}
+	return c
+}
+
+// TestSpecCanonicalGolden pins the canonical encoding of representative
+// specs across all four engines, upload digests and shard options. The
+// canonical string is the cache/dedup key of the library, CLI and
+// service: if one of these goldens changes, every persisted cache key
+// drifts — treat a failure here as an API break, not a test to update
+// casually.
+func TestSpecCanonicalGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec chordal.Spec
+		want string
+	}{
+		{
+			name: "parallel defaults",
+			spec: chordal.Spec{Source: "rmat-er:12"},
+			want: "v1 engine=parallel relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=false src=rmat-er:12:42:8",
+		},
+		{
+			name: "parallel spelled-out options",
+			spec: chordal.Spec{
+				V:       1,
+				Source:  " RMAT-ER:12:42:8 ",
+				Relabel: "BFS",
+				Engine:  "parallel",
+				EngineConfig: chordal.EngineConfig{
+					Variant:  "unopt",
+					Schedule: "sync",
+					Workers:  8, // excluded from identity
+					Repair:   true,
+				},
+				Verify: true,
+				Output: "sub.bin", // excluded from identity
+			},
+			want: "v1 engine=parallel relabel=bfs variant=unopt schedule=sync repair=true stitch=false partitions=0 shards=0 stitchonly=false verify=true src=rmat-er:12:42:8",
+		},
+		{
+			name: "serial engine",
+			spec: chordal.Spec{Source: "gnm:1000:5000", Engine: "serial", Verify: true},
+			want: "v1 engine=serial relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=true src=gnm:1000:5000:42",
+		},
+		{
+			name: "partitioned engine implied by partitions",
+			spec: chordal.Spec{Source: "rmat-g:10:7", EngineConfig: chordal.EngineConfig{Partitions: 8}},
+			want: "v1 engine=partitioned relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=8 shards=0 stitchonly=false verify=false src=rmat-g:10:7:8",
+		},
+		{
+			name: "sharded engine with stitch-only",
+			spec: chordal.Spec{
+				Source:       "rmat-g:10:7",
+				EngineConfig: chordal.EngineConfig{Shards: 4, ShardStitchOnly: true},
+				Verify:       true,
+			},
+			want: "v1 engine=sharded relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=4 stitchonly=true verify=true src=rmat-g:10:7:8",
+		},
+		{
+			name: "stitch-only canonicalized away off the sharded engine",
+			spec: chordal.Spec{Source: "gnm:100:300", EngineConfig: chordal.EngineConfig{ShardStitchOnly: true}},
+			want: "v1 engine=parallel relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=false src=gnm:100:300:42",
+		},
+		{
+			name: "upload digest",
+			spec: chordal.Spec{
+				Source: chordal.UploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n"))),
+				Verify: true,
+			},
+			want: "v1 engine=parallel relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=true src=upload:edges:8ba65ee1bbe8297e30cab4c5fc9b62a8caa0dbe7b89298edf1da2609beb24ae1",
+		},
+	}
+	for _, c := range cases {
+		if got := mustCanonical(t, c.spec); got != c.want {
+			t.Errorf("%s:\n got  %s\n want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip is the stability property: for a grid of specs,
+// normalize → JSON → decode → normalize must reproduce the identical
+// spec and canonical key, so specs can be persisted, shipped over the
+// service API, and replayed without identity drift.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	var grid []chordal.Spec
+	for _, engine := range []string{"", "parallel", "serial", "partitioned", "sharded", "none"} {
+		for _, relabel := range []string{"", "bfs", "degree"} {
+			for _, verifyOn := range []bool{false, true} {
+				s := chordal.Spec{
+					Source:  "rmat-b:9:7",
+					Engine:  engine,
+					Relabel: relabel,
+					Verify:  verifyOn,
+					EngineConfig: chordal.EngineConfig{
+						Variant:  "opt",
+						Schedule: "async",
+						Repair:   verifyOn,
+					},
+				}
+				if engine == "partitioned" {
+					s.Partitions = 4
+				}
+				if engine == "sharded" {
+					s.Shards = 4
+					s.ShardStitchOnly = true
+				}
+				if engine == "none" && verifyOn {
+					continue // invalid by construction: verify needs an engine
+				}
+				grid = append(grid, s)
+			}
+		}
+	}
+	if len(grid) < 30 {
+		t.Fatalf("grid too small: %d", len(grid))
+	}
+	for _, s := range grid {
+		norm, err := s.Normalize()
+		if err != nil {
+			t.Fatalf("Normalize(%+v): %v", s, err)
+		}
+		blob, err := json.Marshal(norm)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back chordal.Spec
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", blob, err)
+		}
+		back2, err := back.Normalize()
+		if err != nil {
+			t.Fatalf("re-normalize %s: %v", blob, err)
+		}
+		if !reflect.DeepEqual(norm, back2) {
+			t.Errorf("round trip drifted:\n before %+v\n after  %+v", norm, back2)
+		}
+		if mustCanonical(t, norm) != mustCanonical(t, back2) {
+			t.Errorf("canonical drifted across JSON round trip for %s", blob)
+		}
+	}
+}
+
+// TestSpecValidationErrors pins the redesign's central contract:
+// conflicting or unknown engine selections are errors, never silent
+// precedence.
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    chordal.Spec
+		errWant string
+	}{
+		{"unknown engine", chordal.Spec{Source: "gnm:10:20", Engine: "warp"}, "unknown engine"},
+		{"serial+shards", chordal.Spec{Source: "gnm:10:20", Engine: "serial", EngineConfig: chordal.EngineConfig{Shards: 4}}, "conflict"},
+		{"parallel+partitions", chordal.Spec{Source: "gnm:10:20", Engine: "parallel", EngineConfig: chordal.EngineConfig{Partitions: 2}}, "conflict"},
+		{"partitions+shards", chordal.Spec{Source: "gnm:10:20", EngineConfig: chordal.EngineConfig{Partitions: 2, Shards: 4}}, "conflict"},
+		{"sharded without shards", chordal.Spec{Source: "gnm:10:20", Engine: "sharded"}, "shards >= 1"},
+		{"partitioned without partitions", chordal.Spec{Source: "gnm:10:20", Engine: "partitioned"}, "partitions >= 1"},
+		{"negative shards", chordal.Spec{Source: "gnm:10:20", EngineConfig: chordal.EngineConfig{Shards: -1}}, "must be >= 0"},
+		{"bad variant", chordal.Spec{Source: "gnm:10:20", EngineConfig: chordal.EngineConfig{Variant: "fast"}}, "unknown variant"},
+		{"bad schedule", chordal.Spec{Source: "gnm:10:20", EngineConfig: chordal.EngineConfig{Schedule: "eventually"}}, "unknown schedule"},
+		{"bad relabel", chordal.Spec{Source: "gnm:10:20", Relabel: "shuffle"}, "unknown relabel"},
+		{"bad version", chordal.Spec{V: 2, Source: "gnm:10:20"}, "version"},
+		{"verify without engine", chordal.Spec{Source: "gnm:10:20", Engine: "none", Verify: true}, "verify requires"},
+		{"bad source", chordal.Spec{Source: "rmat-er"}, "missing scale"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errWant) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.errWant)
+		}
+	}
+}
+
+// noopEngine is a registry test double: it extracts nothing.
+type noopEngine struct{}
+
+func (noopEngine) Name() string { return "test-noop" }
+func (noopEngine) Extract(_ context.Context, g *chordal.Graph, _ chordal.EngineConfig) (*chordal.EngineResult, error) {
+	return &chordal.EngineResult{Subgraph: chordal.BuildFromEdges(g.NumVertices(), nil, nil)}, nil
+}
+
+var registerNoop sync.Once
+
+// TestEngineRegistry covers the pluggable seam: the four built-ins are
+// registered, duplicates panic, and a custom engine becomes reachable
+// through Spec by name alone.
+func TestEngineRegistry(t *testing.T) {
+	names := chordal.EngineNames()
+	for _, want := range []string{"parallel", "serial", "partitioned", "sharded"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in engine %q not registered (have %v)", want, names)
+		}
+	}
+	if _, ok := chordal.LookupEngine("parallel"); !ok {
+		t.Fatal("LookupEngine(parallel) missed")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration did not panic")
+			}
+		}()
+		chordal.RegisterEngine(parallelDup{})
+	}()
+
+	registerNoop.Do(func() { chordal.RegisterEngine(noopEngine{}) })
+	res, err := chordal.Spec{Source: "gnm:50:100:1", Engine: "test-noop"}.Run()
+	if err != nil {
+		t.Fatalf("custom engine run: %v", err)
+	}
+	if res.Subgraph == nil || res.Subgraph.NumEdges() != 0 {
+		t.Errorf("custom engine result %+v, want empty subgraph", res.Subgraph)
+	}
+	if got := mustCanonical(t, chordal.Spec{Source: "gnm:50:100:1", Engine: "test-noop"}); !strings.Contains(got, "engine=test-noop") {
+		t.Errorf("custom engine canonical %q", got)
+	}
+}
+
+// parallelDup collides with the built-in parallel engine's name.
+type parallelDup struct{}
+
+func (parallelDup) Name() string { return "parallel" }
+func (parallelDup) Extract(context.Context, *chordal.Graph, chordal.EngineConfig) (*chordal.EngineResult, error) {
+	return nil, nil
+}
+
+// TestSpecRunMatchesPipeline pins the adapter: the deprecated Pipeline
+// and the Spec it compiles to produce byte-identical subgraphs.
+func TestSpecRunMatchesPipeline(t *testing.T) {
+	p := chordal.Pipeline{
+		Source:  "rmat-g:9:5",
+		Relabel: chordal.RelabelBFS,
+		Extract: true,
+		Options: chordal.Options{RepairMaximality: true},
+		Verify:  true,
+	}
+	want, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Subgraph.Offsets, want.Subgraph.Offsets) ||
+		!reflect.DeepEqual(got.Subgraph.Adj, want.Subgraph.Adj) {
+		t.Error("Spec.Run subgraph differs from Pipeline.Run")
+	}
+	if !got.ChordalOK || got.ReAddableEdges != want.ReAddableEdges {
+		t.Errorf("verify outcome differs: %+v vs %+v", got, want)
+	}
+}
+
+// TestPipelineConflictErrors pins that the adapter inherits validation:
+// the mode combinations that used to resolve by silent precedence now
+// fail loudly.
+func TestPipelineConflictErrors(t *testing.T) {
+	for _, p := range []chordal.Pipeline{
+		{Source: "gnm:100:300", Serial: true, Shards: 4},
+		{Source: "gnm:100:300", Serial: true, Partitions: 2},
+		{Source: "gnm:100:300", Partitions: 2, Shards: 4},
+	} {
+		if _, err := p.Run(); err == nil || !strings.Contains(err.Error(), "conflict") {
+			t.Errorf("Pipeline %+v: err %v, want engine conflict", p, err)
+		}
+	}
+}
+
+// TestObserverEventStream checks the unified stream end to end: stage
+// begin/end pairs with timing, iteration events carrying stats, and the
+// verify outcome, all through one Observer.
+func TestObserverEventStream(t *testing.T) {
+	var mu sync.Mutex
+	byType := map[chordal.EventType]int{}
+	var stages []string
+	var verifyEv *chordal.Event
+	obs := func(ev chordal.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		byType[ev.Type]++
+		if ev.Type == chordal.EventStageBegin {
+			stages = append(stages, ev.Stage)
+		}
+		if ev.Type == chordal.EventVerify {
+			e := ev
+			verifyEv = &e
+		}
+		if ev.Type == chordal.EventIteration {
+			if ev.IterationEvent == nil || ev.Stats == nil {
+				t.Error("iteration event without stats")
+			} else if ev.Index != ev.Stats.Index {
+				t.Errorf("wire index %d != stats index %d", ev.Index, ev.Stats.Index)
+			}
+		}
+	}
+	res, err := chordal.Runner{Observer: obs}.Run(context.Background(), chordal.Spec{
+		Source:       "rmat-g:9:5",
+		EngineConfig: chordal.EngineConfig{Shards: 2},
+		Verify:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ChordalOK {
+		t.Fatal("run not chordal")
+	}
+	wantStages := []string{"acquire", "extract", "verify"}
+	if !reflect.DeepEqual(stages, wantStages) {
+		t.Errorf("stage begins %v, want %v", stages, wantStages)
+	}
+	if byType[chordal.EventStageEnd] != len(wantStages) {
+		t.Errorf("%d stage-end events, want %d", byType[chordal.EventStageEnd], len(wantStages))
+	}
+	if byType[chordal.EventIteration] < 2 {
+		t.Errorf("%d iteration events, want >= 2 (one per shard at minimum)", byType[chordal.EventIteration])
+	}
+	if verifyEv == nil || verifyEv.Chordal == nil || !*verifyEv.Chordal {
+		t.Errorf("verify event %+v, want chordal=true", verifyEv)
+	}
+
+	// Iteration events from the sharded engine carry their shard index
+	// and marshal it on the wire.
+	blob, err := json.Marshal(chordal.Event{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `{"type":""}` {
+		t.Errorf("zero event marshals as %s; optional fields must be omitted", blob)
+	}
+}
