@@ -18,6 +18,8 @@
 package chordal_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"chordal"
@@ -220,6 +222,83 @@ func BenchmarkShardedExtractStitchOnly(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := shard.Extract(g, shard.Options{Shards: 8, StitchOnly: true}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Batched multi-graph throughput (the paper's suite shape) ---
+
+// batchSuiteSpecs is the 20-graph bio-suite shape: the four
+// gene-correlation datasets at five seeds each, downscaled so one
+// graph extracts in milliseconds — the regime where per-run pool
+// spawning dominates and batching pays.
+func batchSuiteSpecs() []chordal.Spec {
+	var specs []chordal.Spec
+	for seed := 1; seed <= 5; seed++ {
+		for _, d := range []string{"gse5140-crt", "gse5140-unt", "gse17072-ctl", "gse17072-non"} {
+			specs = append(specs, chordal.Spec{Source: fmt.Sprintf("%s:32:%d", d, seed)})
+		}
+	}
+	return specs
+}
+
+// BenchmarkBatch runs the suite through chordal.Batch: one persistent
+// pool and shared budget, items overlapping. Compare against
+// BenchmarkBatchSequential, the per-run baseline; cmd/benchrunner
+// -batch-suite emits the same comparison as BENCH_batch.json.
+func BenchmarkBatch(b *testing.B) {
+	specs := batchSuiteSpecs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chordal.Batch(context.Background(), specs, chordal.BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := res.Failed(); n != 0 {
+			b.Fatalf("%d items failed", n)
+		}
+	}
+}
+
+// BenchmarkBatchSequential is the baseline the batch layer replaces:
+// N independent Spec.Run calls, each spinning up and tearing down its
+// own full-width worker set.
+func BenchmarkBatchSequential(b *testing.B) {
+	specs := batchSuiteSpecs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if _, err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchDedup is the suite with repeated submissions — each
+// dataset requested five times, the shape of re-run analyses over a
+// shared suite. Batch collapses the 20 items onto 4 executions by
+// canonical key; the sequential baseline pays all 20. This win is
+// core-count independent, where BenchmarkBatch's overlap win needs
+// multiple CPUs.
+func BenchmarkBatchDedup(b *testing.B) {
+	var specs []chordal.Spec
+	for rep := 0; rep < 5; rep++ {
+		for _, d := range []string{"gse5140-crt", "gse5140-unt", "gse17072-ctl", "gse17072-non"} {
+			specs = append(specs, chordal.Spec{Source: d + ":32:7"})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chordal.Batch(context.Background(), specs, chordal.BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Unique != 4 || res.Failed() != 0 {
+			b.Fatalf("unique=%d failed=%d", res.Unique, res.Failed())
 		}
 	}
 }

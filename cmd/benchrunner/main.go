@@ -9,6 +9,8 @@
 //	benchrunner -exp table2 -bio-downscale 4 -trials 5
 //	benchrunner -graph rmat-g:18 -maxprocs 8    # worker sweep on one input
 //	benchrunner -graph web.mtx -trials 5
+//	benchrunner -batch-suite 20                 # batched vs per-run throughput
+//	                                            # comparison -> BENCH_batch.json
 //
 // The paper's absolute scales (2^24-2^26 vertices on a 128-processor
 // Cray XMT) exceed commodity environments; pick -scales to fit your
@@ -17,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +36,11 @@ import (
 func main() {
 	cfg := experiments.DefaultConfig()
 	var (
-		exp    = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|"))
-		scales = flag.String("scales", "", "comma-separated R-MAT scales (default 14,15,16)")
-		graphS = flag.String("graph", "", "pipeline source (path or generator spec): run an extraction worker sweep on it instead of a paper experiment")
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|"))
+		scales   = flag.String("scales", "", "comma-separated R-MAT scales (default 14,15,16)")
+		graphS   = flag.String("graph", "", "pipeline source (path or generator spec): run an extraction worker sweep on it instead of a paper experiment")
+		batchN   = flag.Int("batch-suite", 0, "run the batched-throughput comparison (chordal.Batch vs per-run Spec.Run) on an n-item bio-suite and write the JSON report")
+		batchOut = flag.String("batch-out", "BENCH_batch.json", "output path for the -batch-suite report")
 	)
 	flag.IntVar(&cfg.BioDownscale, "bio-downscale", cfg.BioDownscale, "bio network gene-count divisor (1 = paper size)")
 	flag.IntVar(&cfg.MaxProcs, "maxprocs", cfg.MaxProcs, "max workers in scaling sweeps (0 = GOMAXPROCS)")
@@ -45,6 +51,13 @@ func main() {
 
 	if *graphS != "" {
 		if err := sweep(*graphS, cfg.MaxProcs, cfg.Trials); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *batchN > 0 {
+		if err := batchBench(*batchN, *batchOut, cfg.Trials); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -66,6 +79,133 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
+}
+
+// batchReport is the JSON record batchBench writes: the batched-vs-
+// sequential throughput comparison on the bio-suite shape, one data
+// point of the perf trajectory per commit.
+type batchReport struct {
+	// Items and Unique size the suite (Unique < Items in the dedup
+	// shape); CPUs and Trials record the measurement conditions.
+	Items  int `json:"items"`
+	Unique int `json:"unique"`
+	CPUs   int `json:"cpus"`
+	Trials int `json:"trials"`
+	// SequentialMillis is N independent Spec.Run calls back-to-back;
+	// BatchMillis the same suite through chordal.Batch; Speedup their
+	// ratio (fastest trial each).
+	SequentialMillis float64 `json:"sequentialMillis"`
+	BatchMillis      float64 `json:"batchMillis"`
+	Speedup          float64 `json:"speedup"`
+	// The dedup variant re-submits each dataset repeatedly (the re-run
+	// analysis shape); Batch collapses the repeats by canonical key.
+	DedupItems            int     `json:"dedupItems"`
+	DedupUnique           int     `json:"dedupUnique"`
+	DedupSequentialMillis float64 `json:"dedupSequentialMillis"`
+	DedupBatchMillis      float64 `json:"dedupBatchMillis"`
+	DedupSpeedup          float64 `json:"dedupSpeedup"`
+	// Timestamp dates the data point.
+	Timestamp string `json:"timestamp"`
+}
+
+// batchSuite builds an n-item bio-suite: the four gene-correlation
+// datasets cycled with advancing seeds (sameSeed collapses them to at
+// most four unique canonical specs — the dedup shape).
+func batchSuite(n int, sameSeed bool) []chordal.Spec {
+	datasets := []string{"gse5140-crt", "gse5140-unt", "gse17072-ctl", "gse17072-non"}
+	specs := make([]chordal.Spec, n)
+	for i := range specs {
+		seed := 7
+		if !sameSeed {
+			seed = 1 + i/len(datasets)
+		}
+		specs[i] = chordal.Spec{Source: fmt.Sprintf("%s:32:%d", datasets[i%len(datasets)], seed)}
+	}
+	return specs
+}
+
+// bestMillis runs fn trials times and returns the fastest wall time in
+// milliseconds.
+func bestMillis(trials int, fn func() error) (float64, error) {
+	best := time.Duration(0)
+	for t := 0; t < trials; t++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+	}
+	return float64(best.Microseconds()) / 1000, nil
+}
+
+// batchBench measures the n-item suite through sequential Spec.Run
+// calls and through chordal.Batch (plus the dedup shape), prints the
+// comparison, and writes it as JSON to out.
+func batchBench(n int, out string, trials int) error {
+	if trials < 1 {
+		trials = 1
+	}
+	rep := batchReport{
+		Items:     n,
+		CPUs:      runtime.NumCPU(),
+		Trials:    trials,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	measure := func(specs []chordal.Spec) (seqMs, batchMs float64, unique int, err error) {
+		seqMs, err = bestMillis(trials, func() error {
+			for _, s := range specs {
+				if _, err := s.Run(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		batchMs, err = bestMillis(trials, func() error {
+			res, err := chordal.Batch(context.Background(), specs, chordal.BatchOptions{})
+			if err != nil {
+				return err
+			}
+			unique = res.Unique
+			if f := res.Failed(); f != 0 {
+				return fmt.Errorf("%d batch items failed", f)
+			}
+			return nil
+		})
+		return seqMs, batchMs, unique, err
+	}
+
+	var err error
+	if rep.SequentialMillis, rep.BatchMillis, rep.Unique, err = measure(batchSuite(n, false)); err != nil {
+		return err
+	}
+	rep.Speedup = rep.SequentialMillis / rep.BatchMillis
+	rep.DedupItems = n
+	if rep.DedupSequentialMillis, rep.DedupBatchMillis, rep.DedupUnique, err = measure(batchSuite(n, true)); err != nil {
+		return err
+	}
+	rep.DedupSpeedup = rep.DedupSequentialMillis / rep.DedupBatchMillis
+
+	fmt.Printf("batch suite: %d items (%d unique) on %d CPUs, best of %d trials\n",
+		rep.Items, rep.Unique, rep.CPUs, rep.Trials)
+	fmt.Printf("  sequential Spec.Run: %10.3f ms\n", rep.SequentialMillis)
+	fmt.Printf("  chordal.Batch:       %10.3f ms   (%.2fx)\n", rep.BatchMillis, rep.Speedup)
+	fmt.Printf("  dedup shape (%d unique): sequential %.3f ms, batch %.3f ms (%.2fx)\n",
+		rep.DedupUnique, rep.DedupSequentialMillis, rep.DedupBatchMillis, rep.DedupSpeedup)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 // sweep measures pipeline acquisition once and extraction across a

@@ -12,17 +12,28 @@
 //	chordal -in rmat-g:18:7 -shards 8 -verify   # sharded engine
 //	chordal -in graph.txt -serial               # Dearing et al. baseline
 //	chordal -in rmat-er:12 -json                # machine-readable report
+//	chordal -batch suite.txt -verify -json      # every source in a manifest
+//	chordal -batch 'graphs/*.bin' -verify       # every file matching a glob
 //
 // Exactly one engine may be selected: combining -serial, -partition,
 // -shards, or a conflicting -engine name exits non-zero with a clear
 // error instead of silently picking one.
+//
+// Batch mode runs every input listed in a manifest file (one source per
+// line, # comments) or matching a glob pattern through one shared
+// worker pool (see chordal.Batch): items with identical canonical specs
+// run once, -workers bounds the batch's total parallelism instead of a
+// single run's, and -json emits the aggregate chordal.BatchReport.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"chordal"
@@ -47,25 +58,17 @@ func main() {
 		iters      = flag.Bool("iters", false, "print per-iteration queue statistics")
 		timings    = flag.Bool("timings", false, "print per-stage pipeline timings")
 		jsonOut    = flag.Bool("json", false, "emit the full run report as one JSON object on stdout (for benchrunner and CI)")
+		batch      = flag.String("batch", "", "run every source in a manifest file (one per line, # comments) or matching a glob, over one shared worker pool")
+		batchPar   = flag.Int("batch-par", 0, "with -batch: max items running simultaneously (0 = one per worker token)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "chordal: -in is required (a path or one of:\n"+chordal.SourceSpecs+")")
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	engine := *engineSel
-	if *serial {
-		if engine != "" && engine != chordal.EngineSerial {
-			fail(fmt.Errorf("-serial conflicts with -engine %s", engine))
-		}
-		engine = chordal.EngineSerial
-	}
-
+	// One template for both modes: -batch stamps each manifest source
+	// into a copy, the single-run path adds -in/-out. Keeping a single
+	// literal means a future EngineConfig flag cannot reach one mode
+	// and silently miss the other.
 	spec := chordal.Spec{
-		Source: *in,
-		Engine: engine,
+		Engine: pickEngine(*engineSel, *serial),
 		EngineConfig: chordal.EngineConfig{
 			Variant:         *variant,
 			Schedule:        *schedule,
@@ -76,12 +79,27 @@ func main() {
 			Shards:          *shards,
 			ShardStitchOnly: *stitchOnly,
 		},
-		Verify: *doVerify,
-		Output: *out,
+		Verify:  *doVerify,
+		Relabel: relabelFlag(*bfs),
 	}
-	if *bfs {
-		spec.Relabel = "bfs"
+
+	if *batch != "" {
+		if *in != "" || *out != "" {
+			fail(fmt.Errorf("-batch replaces -in and does not support -out (outputs would collide)"))
+		}
+		if *iters || *timings {
+			fail(fmt.Errorf("-iters and -timings are not supported with -batch; use -json for per-item reports"))
+		}
+		runBatch(*batch, *batchPar, *jsonOut, spec, *workers)
+		return
 	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "chordal: -in is required (a path or one of:\n"+chordal.SourceSpecs+")")
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec.Source = *in
+	spec.Output = *out
 	// Normalize up front: engine conflicts (say -serial -shards 4) and
 	// unknown enum names exit here, before any graph is loaded.
 	spec, err := spec.Normalize()
@@ -189,6 +207,140 @@ func main() {
 		for _, st := range res.Timings {
 			fmt.Printf("stage %-8s %12s\n", st.Stage, st.Duration)
 		}
+	}
+}
+
+// pickEngine resolves -engine and the -serial shorthand into one
+// engine name, failing on a conflicting combination.
+func pickEngine(engine string, serial bool) string {
+	if serial {
+		if engine != "" && engine != chordal.EngineSerial {
+			fail(fmt.Errorf("-serial conflicts with -engine %s", engine))
+		}
+		return chordal.EngineSerial
+	}
+	return engine
+}
+
+// relabelFlag maps -bfs-relabel onto the spec's relabel mode.
+func relabelFlag(bfs bool) string {
+	if bfs {
+		return "bfs"
+	}
+	return ""
+}
+
+// batchSources resolves the -batch argument: an existing file is read
+// as a manifest listing one source per line (blank lines and
+// #-comments skipped); otherwise a pattern containing glob
+// metacharacters expands to the matching files. The stat-first order
+// keeps a manifest whose own name contains glob characters
+// ("suite[v2].txt") readable.
+func batchSources(arg string) ([]string, error) {
+	if fi, err := os.Stat(arg); (err != nil || fi.IsDir()) && strings.ContainsAny(arg, "*?[") {
+		matches, err := filepath.Glob(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad -batch glob %q: %w", arg, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("-batch glob %q matched no files", arg)
+		}
+		return matches, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sources []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sources = append(sources, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("-batch manifest %q lists no sources", arg)
+	}
+	return sources, nil
+}
+
+// runBatch executes the batch mode: every source from the manifest or
+// glob runs the template spec over one shared pool, then the aggregate
+// report prints (text, or the full chordal.BatchReport with -json).
+// Any failed item, failed verify, or failed shard self-check exits
+// non-zero.
+func runBatch(arg string, concurrency int, jsonOut bool, template chordal.Spec, workers int) {
+	// Validate the flag template once before touching the manifest, so
+	// an engine conflict (say -serial -shards 4) fails with one error
+	// up front exactly as in single-run mode, instead of repeating per
+	// item. Per-item validation still covers source-specific problems.
+	probe := template
+	probe.Source = "gnm:1:1"
+	if err := probe.Validate(); err != nil {
+		fail(err)
+	}
+	sources, err := batchSources(arg)
+	if err != nil {
+		fail(err)
+	}
+	specs := make([]chordal.Spec, len(sources))
+	for i, src := range sources {
+		specs[i] = template
+		specs[i].Source = src
+	}
+	res, err := chordal.Batch(context.Background(), specs, chordal.BatchOptions{
+		Workers:     workers,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	rep := res.Report()
+	bad := rep.Failed + rep.VerifyFailed
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	} else {
+		for i := range res.Items {
+			it := &res.Items[i]
+			switch {
+			case it.Err != nil:
+				fmt.Printf("[%d] %-32s ERROR: %v\n", i, sources[i], it.Err)
+			case it.DupOf >= 0:
+				fmt.Printf("[%d] %-32s = item %d (same canonical spec)\n", i, sources[i], it.DupOf)
+			case it.Result.Subgraph == nil: // engine "none": nothing extracted
+				fmt.Printf("[%d] %-32s V=%d E=%d (no extraction)\n",
+					i, sources[i], it.Result.InputStats.Vertices, it.Result.InputStats.Edges)
+			default:
+				r := it.Result
+				status := ""
+				if r.Verified {
+					status = "  chordal"
+					if !r.ChordalOK {
+						status = "  NOT CHORDAL"
+					}
+				}
+				fmt.Printf("[%d] %-32s V=%d E=%d -> %d chordal edges%s\n",
+					i, sources[i], r.InputStats.Vertices, r.InputStats.Edges,
+					r.Subgraph.NumEdges(), status)
+			}
+		}
+		fmt.Printf("batch: %d items (%d unique, %d deduplicated, %d failed, %d failed verify) in %s\n",
+			rep.Total, rep.Unique, rep.Deduplicated, rep.Failed, rep.VerifyFailed, res.Wall)
+	}
+	if bad > 0 {
+		os.Exit(1)
 	}
 }
 

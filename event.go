@@ -65,6 +65,10 @@ type Event struct {
 	// Shard is the shard index of a sharded-extraction iteration; nil
 	// for whole-graph iterations and non-iteration events.
 	Shard *int `json:"shard,omitempty"`
+	// Batch is the index of the batch item this event belongs to when
+	// the run executes inside a Batch; nil for standalone runs. Events
+	// of different batch items may interleave on a shared Observer.
+	Batch *int `json:"batch,omitempty"`
 	// IterationEvent flattens the iteration's wire statistics into the
 	// event object; nil for non-iteration events.
 	*IterationEvent

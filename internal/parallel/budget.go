@@ -39,12 +39,44 @@ func NewBudget(total int) *Budget {
 // Total returns the pool size.
 func (b *Budget) Total() int { return b.total }
 
+// Available returns the number of currently unleased tokens — a
+// point-in-time snapshot for tests and health reporting, not a
+// reservation (another caller may lease between the read and any use).
+func (b *Budget) Available() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.avail
+}
+
 // Lease takes up to want tokens from the pool and returns the number
 // granted, always at least 1: if the pool is empty it blocks until a
 // token is released. want <= 0 requests the full pool. The caller must
 // Release exactly the granted count when its work completes.
 func (b *Budget) Lease(want int) int {
 	granted, _ := b.lease(context.Background(), want)
+	return granted
+}
+
+// TryLease takes up to want tokens without blocking: it returns the
+// granted count, or 0 when the pool is currently empty (a grant of 0
+// needs no Release). want <= 0 requests the full pool. Pool slots use
+// it so a slot never parks holding a queued task while other holders —
+// possibly idle slots of another pool on the same budget — sit on the
+// tokens it is waiting for.
+func (b *Budget) TryLease(want int) int {
+	if want <= 0 || want > b.total {
+		want = b.total
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.avail == 0 {
+		return 0
+	}
+	granted := want
+	if granted > b.avail {
+		granted = b.avail
+	}
+	b.avail -= granted
 	return granted
 }
 

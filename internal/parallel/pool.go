@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed rejects submissions to a Pool after Close (or after its
+// parent context was canceled).
+var ErrPoolClosed = errors.New("parallel: pool is closed")
+
+// Pool is the persistent counterpart of the per-call goroutine spawning
+// the rest of this package does: a fixed set of long-lived executor
+// slots fed from one run queue. Each slot leases its share of a shared
+// Budget once — on the first task it executes — and holds that lease
+// across every subsequent submission, so a batch of many small runs
+// pays the lease negotiation per slot rather than per run. Tasks
+// receive the slot's granted worker width and must keep any
+// parallelism they spawn within it.
+//
+// The queue is an unbuffered handoff: Submit blocks until an idle slot
+// accepts the task, which bounds in-flight work to the slot count with
+// no intermediate queue to drain on cancellation. Closing the pool (or
+// canceling the context it was created under) stops idle slots
+// immediately, lets running tasks finish, and releases every held
+// lease; a well-behaved task observes its own context and exits early.
+type Pool struct {
+	budget *Budget
+	slots  int
+	tasks  chan func(workers int)
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewPool creates a Pool of long-lived executor slots over budget,
+// which supplies the worker tokens the slots lease and hold. A nil
+// budget gets a fresh machine-width one. slots <= 0 selects one slot
+// per budget token; more slots than tokens are clamped — a surplus
+// slot could never lease and would deadlock its first task behind the
+// other slots' held leases. The pool runs until Close or until ctx is
+// canceled; both drain it the same way.
+func NewPool(ctx context.Context, budget *Budget, slots int) *Pool {
+	if budget == nil {
+		budget = NewBudget(0)
+	}
+	if slots <= 0 || slots > budget.Total() {
+		slots = budget.Total()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	p := &Pool{
+		budget: budget,
+		slots:  slots,
+		tasks:  make(chan func(workers int)),
+		ctx:    pctx,
+		cancel: cancel,
+	}
+	// Distribute the budget across slots with the remainder spread over
+	// the first slots, so slots*share covers the whole pool (8 tokens on
+	// 3 slots lease 3+3+2, not 2+2+2 with two stranded).
+	share := budget.Total() / slots
+	extra := budget.Total() % slots
+	for i := 0; i < slots; i++ {
+		want := share
+		if i < extra {
+			want++
+		}
+		p.wg.Add(1)
+		go p.slot(want)
+	}
+	return p
+}
+
+// Slots returns the number of executor slots, the pool's bound on
+// concurrently running tasks.
+func (p *Pool) Slots() int { return p.slots }
+
+// slot is one long-lived executor: it leases want tokens from the
+// shared budget at its first opportunity, reuses the grant for every
+// later task, and releases it when the pool drains. Lease attempts
+// never block — a slot that finds the budget short (possible only when
+// the budget is shared beyond this pool, since the pool's own shares
+// sum exactly to the total) runs the task at whatever it holds (width
+// 1 at minimum) and tops the lease up toward its full share before
+// each later task, trading a bounded sliver of oversubscription for
+// deadlock freedom: a parked slot holding an accepted task could wait
+// forever on tokens held by another pool's idle slots.
+func (p *Pool) slot(want int) {
+	defer p.wg.Done()
+	granted := 0
+	defer func() {
+		if granted > 0 {
+			p.budget.Release(granted)
+		}
+	}()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case task := <-p.tasks:
+			if granted < want {
+				granted += p.budget.TryLease(want - granted)
+			}
+			if granted == 0 {
+				task(1)
+				continue
+			}
+			task(granted)
+		}
+	}
+}
+
+// Submit hands fn to an idle slot and returns nil once the slot has
+// accepted it — acceptance guarantees fn runs, with the slot's granted
+// worker width as its argument. When every slot is busy, Submit blocks
+// until one frees up (the pool's concurrency bound), until ctx is done
+// (returning ctx.Err()), or until the pool closes (returning
+// ErrPoolClosed). fn is responsible for observing its own context;
+// the pool never abandons an accepted task.
+func (p *Pool) Submit(ctx context.Context, fn func(workers int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.ctx.Done():
+		return ErrPoolClosed
+	}
+}
+
+// Close drains the pool: further Submits fail with ErrPoolClosed, idle
+// slots exit immediately, running tasks finish, and every held budget
+// lease is released before Close returns. Safe to call more than once
+// and concurrently with Submit.
+func (p *Pool) Close() {
+	p.closeOnce.Do(p.cancel)
+	p.wg.Wait()
+}

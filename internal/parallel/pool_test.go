@@ -1,0 +1,270 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEveryAcceptedTask checks the core contract: a nil-error
+// Submit means the task runs, with a worker width inside the budget.
+func TestPoolRunsEveryAcceptedTask(t *testing.T) {
+	b := NewBudget(4)
+	p := NewPool(context.Background(), b, 2)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		err := p.Submit(context.Background(), func(workers int) {
+			defer wg.Done()
+			if workers < 1 || workers > 4 {
+				t.Errorf("task width %d outside budget of 4", workers)
+			}
+			ran.Add(1)
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("ran %d tasks, want 64", got)
+	}
+	if got := b.Available(); got != 4 {
+		t.Fatalf("tokens leaked: %d available after Close, want 4", got)
+	}
+}
+
+// TestPoolReusesLeases pins the amortization the pool exists for: a
+// slot leases once and every later task reuses the grant, so N tasks on
+// one slot cost one lease, not N.
+func TestPoolReusesLeases(t *testing.T) {
+	b := NewBudget(2)
+	p := NewPool(context.Background(), b, 1)
+	defer p.Close()
+	widths := make(chan int, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		if err := p.Submit(context.Background(), func(workers int) {
+			defer wg.Done()
+			widths <- workers
+			// While a slot holds its lease, those tokens stay out of the
+			// budget — the reuse is observable as a steady Available.
+			if free := b.Available(); free != 0 {
+				t.Errorf("slot running but %d tokens free, want 0 (single slot leases the pool)", free)
+			}
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	close(widths)
+	for w := range widths {
+		if w != 2 {
+			t.Fatalf("task width %d, want the full 2-token lease reused across tasks", w)
+		}
+	}
+}
+
+// TestPoolStressConcurrentBatches drives the usage shape of
+// chordal.Batch under -race: concurrent batches, each with its own
+// budget and pool. Within a pool the slot shares sum exactly to the
+// budget, so task widths never oversubscribe it and every token
+// returns on Close — the regression pin for the PR 3 lease semantics
+// carried over to persistent slots.
+func TestPoolStressConcurrentBatches(t *testing.T) {
+	var outer sync.WaitGroup
+	for batch := 0; batch < 8; batch++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			const total = 4
+			b := NewBudget(total)
+			p := NewPool(context.Background(), b, 2)
+			var inUse, peak atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < 32; i++ {
+				wg.Add(1)
+				if err := p.Submit(context.Background(), func(workers int) {
+					defer wg.Done()
+					cur := inUse.Add(int64(workers))
+					for {
+						pk := peak.Load()
+						if cur <= pk || peak.CompareAndSwap(pk, cur) {
+							break
+						}
+					}
+					inUse.Add(-int64(workers))
+				}); err != nil {
+					t.Errorf("Submit: %v", err)
+					wg.Done()
+				}
+			}
+			wg.Wait()
+			p.Close()
+			if pk := peak.Load(); pk > total {
+				t.Errorf("peak concurrent task width %d exceeds the %d-token budget", pk, total)
+			}
+			if got := b.Available(); got != total {
+				t.Errorf("tokens leaked: %d available after Close, want %d", got, total)
+			}
+		}()
+	}
+	outer.Wait()
+}
+
+// TestPoolSharedBudgetLiveness pins the deadlock-freedom contract when
+// many pools contend for one budget: every accepted task runs (slots
+// that find the budget drained fall back to width 1 instead of parking
+// on tokens held by other pools' idle slots), and every leased token
+// returns once all pools close.
+func TestPoolSharedBudgetLiveness(t *testing.T) {
+	const total = 2
+	b := NewBudget(total)
+	var ran atomic.Int64
+	var outer sync.WaitGroup
+	for batch := 0; batch < 6; batch++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			p := NewPool(context.Background(), b, 2)
+			defer p.Close()
+			var wg sync.WaitGroup
+			for i := 0; i < 16; i++ {
+				wg.Add(1)
+				if err := p.Submit(context.Background(), func(workers int) {
+					defer wg.Done()
+					if workers < 1 || workers > total {
+						t.Errorf("task width %d outside 1..%d", workers, total)
+					}
+					ran.Add(1)
+				}); err != nil {
+					t.Errorf("Submit: %v", err)
+					wg.Done()
+				}
+			}
+			wg.Wait()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { outer.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shared-budget pools deadlocked")
+	}
+	if got := ran.Load(); got != 6*16 {
+		t.Fatalf("ran %d tasks, want %d", got, 6*16)
+	}
+	if got := b.Available(); got != total {
+		t.Fatalf("tokens leaked: %d available after all pools closed, want %d", got, total)
+	}
+}
+
+// TestPoolCancelDrains checks the cancellation contract: canceling the
+// pool's context fails pending Submits, lets running tasks finish, and
+// releases every lease — no token leak, no deadlock.
+func TestPoolCancelDrains(t *testing.T) {
+	b := NewBudget(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, b, 2)
+
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		if err := p.Submit(context.Background(), func(int) {
+			defer wg.Done()
+			started <- struct{}{}
+			<-release
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	<-started
+	<-started
+
+	cancel()
+	// Every slot is busy and the pool is canceled: a new submission must
+	// fail fast with ErrPoolClosed rather than block forever.
+	err := p.Submit(context.Background(), func(int) { t.Error("task ran after cancel filled no slot") })
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after cancel: %v, want ErrPoolClosed", err)
+	}
+	// A submitter-side context failure is reported as that context's
+	// error instead.
+	subCtx, subCancel := context.WithCancel(context.Background())
+	subCancel()
+	if err := p.Submit(subCtx, func(int) {}); !errors.Is(err, context.Canceled) && !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit with dead ctx: %v", err)
+	}
+
+	close(release) // running tasks finish
+	wg.Wait()
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain a canceled pool")
+	}
+	if got := b.Available(); got != 2 {
+		t.Fatalf("tokens leaked on cancel: %d available, want 2", got)
+	}
+}
+
+// TestPoolTopsUpPartialLease pins the recovery path: a slot that got a
+// partial grant (the budget was transiently short) tops its lease back
+// up toward the full share before later tasks instead of being stuck
+// undersized for the pool's lifetime.
+func TestPoolTopsUpPartialLease(t *testing.T) {
+	b := NewBudget(4)
+	outside := b.Lease(3) // someone else transiently holds most tokens
+	if outside != 3 {
+		t.Fatalf("setup Lease(3) = %d", outside)
+	}
+	p := NewPool(context.Background(), b, 1)
+	defer p.Close()
+
+	run := func() int {
+		got := make(chan int, 1)
+		if err := p.Submit(context.Background(), func(workers int) { got <- workers }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		return <-got
+	}
+	if w := run(); w != 1 {
+		t.Fatalf("first task width %d, want the partial grant of 1", w)
+	}
+	b.Release(outside) // contention gone
+	if w := run(); w != 4 {
+		t.Fatalf("task width after release = %d, want the topped-up full share of 4", w)
+	}
+	p.Close()
+	if got := b.Available(); got != 4 {
+		t.Fatalf("tokens leaked: %d available, want 4", got)
+	}
+}
+
+// TestPoolClampsSlots pins the deadlock guard: more slots than budget
+// tokens are clamped, so every slot can lease at least one token.
+func TestPoolClampsSlots(t *testing.T) {
+	b := NewBudget(2)
+	p := NewPool(context.Background(), b, 16)
+	defer p.Close()
+	if got := p.Slots(); got != 2 {
+		t.Fatalf("Slots() = %d, want clamp to the 2-token budget", got)
+	}
+	// Default slot count is one per token.
+	p2 := NewPool(context.Background(), b, 0)
+	defer p2.Close()
+	if got := p2.Slots(); got != 2 {
+		t.Fatalf("default Slots() = %d, want 2", got)
+	}
+}

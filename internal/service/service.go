@@ -16,7 +16,14 @@
 //	                             starts, per-iteration extraction progress
 //	                             (sharded jobs tag events with the shard)
 //	GET    /v1/jobs/{id}/result  the chordal subgraph (?format=edges|bin|mtx)
-//	GET    /healthz              liveness + job/cache counters
+//	POST   /v1/batches           submit many jobs at once: JSON
+//	                             {items: [{source, options}, ...]}; each
+//	                             item becomes (or joins) a regular job,
+//	                             with caching and single-flight dedup
+//	GET    /v1/batches/{id}        aggregate per-item status + counts
+//	GET    /v1/batches/{id}/events merged SSE over every member job,
+//	                             each event wrapped with its batch index
+//	GET    /healthz              liveness + job/batch/cache counters
 //
 // # Architecture
 //
@@ -140,10 +147,12 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*Job
-	seq    int
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	seq      int
+	batches  map[string]*batchRec
+	batchSeq int
 	// inflight maps a cacheable job key to its currently executing job,
 	// the single-flight table: identical concurrent submissions attach
 	// to the entry instead of running the pipeline again.
@@ -182,6 +191,7 @@ func New(cfg Config) *Server {
 		baseCtx:  ctx,
 		stop:     stop,
 		jobs:     make(map[string]*Job),
+		batches:  make(map[string]*batchRec),
 		inflight: make(map[string]*Job),
 		inputs: newLRU[*graph.Graph](cfg.InputCacheBytes, func(g *graph.Graph) int64 {
 			return g.SizeBytes()
@@ -198,6 +208,9 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
+	s.mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
@@ -246,6 +259,17 @@ func (s *Server) gcSweep(now time.Time) int {
 		if j.terminalBefore(cutoff) {
 			delete(s.jobs, id)
 			removed++
+		}
+	}
+	// A batch follows its members out: once every member job is both
+	// terminal and older than the TTL, the record (which pins the job
+	// objects in memory) goes too. The batch's own age gates the sweep:
+	// a fresh batch whose items all hit the result cache is made of
+	// jobs that finished before it was created, and must not vanish
+	// moments after its 202.
+	for id, b := range s.batches {
+		if b.created.Before(cutoff) && b.terminalBefore(cutoff) {
+			delete(s.batches, id)
 		}
 	}
 	return removed
@@ -740,6 +764,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	total := len(s.jobs)
+	batches := len(s.batches)
 	inflight := len(s.inflight)
 	counts := map[string]int{}
 	for _, j := range s.jobs {
@@ -755,6 +780,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"failed":                 counts[StateFailed],
 		"canceled":               counts[StateCanceled],
 		"inflight":               inflight,
+		"batches":                batches,
 		"workers":                s.budget.Total(),
 		"maxConcurrent":          s.cfg.MaxConcurrent,
 		"inputCache":             s.inputs.Len(),

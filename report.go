@@ -78,6 +78,79 @@ type RunReport struct {
 	TotalMillis float64        `json:"totalMillis"`
 }
 
+// BatchItemReport is one batch item in a BatchReport.
+type BatchItemReport struct {
+	// Index is the item's position in the submitted batch.
+	Index int `json:"index"`
+	// Canonical is the item's spec identity (empty when the spec failed
+	// to normalize).
+	Canonical string `json:"canonical,omitempty"`
+	// DupOf points at the earlier item this one was deduplicated onto;
+	// nil for items that executed themselves.
+	DupOf *int `json:"dupOf,omitempty"`
+	// Error is the item's failure message, when it failed.
+	Error string `json:"error,omitempty"`
+	// Report is the full run report of an item that executed
+	// successfully; nil for failures and deduplicated items (whose
+	// outcome lives at DupOf).
+	Report *RunReport `json:"report,omitempty"`
+}
+
+// BatchReport is the JSON-ready aggregate of a finished Batch:
+// per-item reports plus the totals `chordal -batch -json` emits.
+type BatchReport struct {
+	// Items has one entry per submitted spec, in submission order.
+	Items []BatchItemReport `json:"items"`
+	// Total, Unique, Deduplicated and Failed count the items: Total =
+	// Unique + Deduplicated + items that never ran (invalid specs,
+	// output-path collisions, or items canceled before dispatch).
+	Total        int `json:"total"`
+	Unique       int `json:"unique"`
+	Deduplicated int `json:"deduplicated"`
+	Failed       int `json:"failed"`
+	// VerifyFailed counts items that ran but failed verification (a
+	// non-chordal verify outcome or a failed shard self-check); such
+	// items carry a report, not an error. A batch passed only when
+	// Failed and VerifyFailed are both zero — the CLI's exit code
+	// checks exactly that.
+	VerifyFailed int `json:"verifyFailed"`
+	// WallMillis is the batch's wall-clock time; SumMillis the sum of
+	// per-item stage totals. Sum exceeding wall is the overlap the
+	// shared pool won over running the items back-to-back.
+	WallMillis float64 `json:"wallMillis"`
+	SumMillis  float64 `json:"sumMillis"`
+}
+
+// Report aggregates the batch into its JSON-ready summary.
+func (r *BatchResult) Report() BatchReport {
+	rep := BatchReport{
+		Total:        len(r.Items),
+		Unique:       r.Unique,
+		Failed:       r.Failed(),
+		VerifyFailed: r.VerifyFailed(),
+		WallMillis:   durationMillis(r.Wall),
+	}
+	for i := range r.Items {
+		it := &r.Items[i]
+		out := BatchItemReport{Index: it.Index, Canonical: it.Canonical}
+		if it.DupOf >= 0 {
+			dup := it.DupOf
+			out.DupOf = &dup
+			rep.Deduplicated++
+		}
+		if it.Err != nil {
+			out.Error = it.Err.Error()
+		} else if it.DupOf < 0 && it.Result != nil {
+			if run, err := Report(it.Spec, it.Result); err == nil {
+				out.Report = &run
+				rep.SumMillis += run.TotalMillis
+			}
+		}
+		rep.Items = append(rep.Items, out)
+	}
+	return rep
+}
+
 // Report summarizes a finished run of spec s as one JSON-ready object.
 func Report(s Spec, res *PipelineResult) (RunReport, error) {
 	n, err := s.Normalize()

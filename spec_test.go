@@ -255,6 +255,93 @@ func (parallelDup) Extract(context.Context, *chordal.Graph, chordal.EngineConfig
 	return nil, nil
 }
 
+// TestSpecEngineConformanceGrid is the cross-engine conformance grid:
+// for a matrix of generated graphs (rmat/synth/biogen families at
+// several sizes and seeds), every registered built-in engine must
+// produce a verified chordal subgraph that is byte-identical across
+// worker counts, under one canonical spec identity that survives a
+// JSON round trip. This is the contract the caches and the service
+// dedup stand on: one canonical key ⇒ one result, whatever the
+// machine's width. Run under -race in CI.
+func TestSpecEngineConformanceGrid(t *testing.T) {
+	sources := []string{
+		// rmat sizes × seeds
+		"rmat-er:8:3", "rmat-g:8:7", "rmat-g:9:11", "rmat-b:8:5",
+		// synthetic families
+		"gnm:400:1600:5", "ws:300:6:0.1:9", "geo:300:0.08:11", "ktree:200:4:13",
+		// bio suite shape (downscaled for test time)
+		"gse5140-crt:64:3", "gse17072-non:64:7",
+	}
+	engines := []struct {
+		name string
+		cfg  chordal.EngineConfig
+	}{
+		{chordal.EngineParallel, chordal.EngineConfig{}},
+		{chordal.EngineSerial, chordal.EngineConfig{}},
+		{chordal.EnginePartitioned, chordal.EngineConfig{Partitions: 4}},
+		{chordal.EngineSharded, chordal.EngineConfig{Shards: 3}},
+	}
+	for _, src := range sources {
+		for _, eng := range engines {
+			src, eng := src, eng
+			t.Run(eng.name+"/"+src, func(t *testing.T) {
+				t.Parallel()
+				spec := chordal.Spec{Source: src, Engine: eng.name, EngineConfig: eng.cfg, Verify: true}
+
+				// Same spec at two worker widths: the subgraph bytes and
+				// the canonical identity must not move.
+				one, three := spec, spec
+				one.Workers, three.Workers = 1, 3
+				if mustCanonical(t, one) != mustCanonical(t, three) {
+					t.Fatal("canonical key depends on worker count")
+				}
+				r1, err := one.Run()
+				if err != nil {
+					t.Fatalf("workers=1: %v", err)
+				}
+				r3, err := three.Run()
+				if err != nil {
+					t.Fatalf("workers=3: %v", err)
+				}
+				for _, r := range []*chordal.PipelineResult{r1, r3} {
+					if !r.ChordalOK {
+						t.Fatal("verify failed: subgraph not chordal")
+					}
+					if r.Subgraph.NumEdges() == 0 {
+						t.Fatal("empty extraction")
+					}
+				}
+				if !reflect.DeepEqual(r1.Subgraph.Offsets, r3.Subgraph.Offsets) ||
+					!reflect.DeepEqual(r1.Subgraph.Adj, r3.Subgraph.Adj) {
+					t.Fatal("subgraph bytes differ across worker counts")
+				}
+
+				// The spec's JSON form is the wire format of the service
+				// and the manifest format of the CLI: a decoded copy must
+				// keep the same identity and reproduce the same bytes.
+				blob, err := json.Marshal(one)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wire chordal.Spec
+				if err := json.Unmarshal(blob, &wire); err != nil {
+					t.Fatal(err)
+				}
+				if mustCanonical(t, wire) != mustCanonical(t, one) {
+					t.Fatal("canonical key drifted across JSON round trip")
+				}
+				rw, err := wire.Run()
+				if err != nil {
+					t.Fatalf("wire copy: %v", err)
+				}
+				if !reflect.DeepEqual(rw.Subgraph.Adj, r1.Subgraph.Adj) {
+					t.Fatal("wire copy produced different subgraph bytes")
+				}
+			})
+		}
+	}
+}
+
 // TestSpecRunMatchesPipeline pins the adapter: the deprecated Pipeline
 // and the Spec it compiles to produce byte-identical subgraphs.
 func TestSpecRunMatchesPipeline(t *testing.T) {
