@@ -158,6 +158,12 @@ func TestCLIJSONReport(t *testing.T) {
 				Shards int `json:"shards"`
 			} `json:"shard"`
 		} `json:"extraction"`
+		Tuning *struct {
+			Grain           int    `json:"grain"`
+			DegreeThreshold int    `json:"degreeThreshold"`
+			Workers         int    `json:"workers"`
+			Source          string `json:"source"`
+		} `json:"tuning"`
 		Verify *struct {
 			Chordal bool `json:"chordal"`
 		} `json:"verify"`
@@ -176,6 +182,10 @@ func TestCLIJSONReport(t *testing.T) {
 	}
 	if rep.Verify == nil || !rep.Verify.Chordal {
 		t.Errorf("report verify %+v, want chordal", rep.Verify)
+	}
+	if rep.Tuning == nil || rep.Tuning.Grain < 1 || rep.Tuning.Workers < 1 ||
+		rep.Tuning.DegreeThreshold == 0 || rep.Tuning.Source == "" {
+		t.Errorf("report tuning %+v, want resolved grain/threshold/workers/source", rep.Tuning)
 	}
 	if len(rep.Timings) == 0 {
 		t.Error("report has no stage timings")

@@ -11,6 +11,8 @@
 //	benchrunner -graph web.mtx -trials 5
 //	benchrunner -batch-suite 20                 # batched vs per-run throughput
 //	                                            # comparison -> BENCH_batch.json
+//	benchrunner -kernel-suite                   # degree-threshold x grain x
+//	                                            # workers sweep -> BENCH_kernels.json
 //
 // The paper's absolute scales (2^24-2^26 vertices on a 128-processor
 // Cray XMT) exceed commodity environments; pick -scales to fit your
@@ -23,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime"
 	"strconv"
@@ -31,16 +34,19 @@ import (
 
 	"chordal"
 	"chordal/internal/experiments"
+	"chordal/internal/tune"
 )
 
 func main() {
 	cfg := experiments.DefaultConfig()
 	var (
-		exp      = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|"))
-		scales   = flag.String("scales", "", "comma-separated R-MAT scales (default 14,15,16)")
-		graphS   = flag.String("graph", "", "pipeline source (path or generator spec): run an extraction worker sweep on it instead of a paper experiment")
-		batchN   = flag.Int("batch-suite", 0, "run the batched-throughput comparison (chordal.Batch vs per-run Spec.Run) on an n-item bio-suite and write the JSON report")
-		batchOut = flag.String("batch-out", "BENCH_batch.json", "output path for the -batch-suite report")
+		exp       = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|"))
+		scales    = flag.String("scales", "", "comma-separated R-MAT scales (default 14,15,16)")
+		graphS    = flag.String("graph", "", "pipeline source (path or generator spec): run an extraction worker sweep on it instead of a paper experiment")
+		batchN    = flag.Int("batch-suite", 0, "run the batched-throughput comparison (chordal.Batch vs per-run Spec.Run) on an n-item bio-suite and write the JSON report")
+		batchOut  = flag.String("batch-out", "BENCH_batch.json", "output path for the -batch-suite report")
+		kernelRun = flag.Bool("kernel-suite", false, "sweep degree-threshold x grain x workers over the generator zoo, verify byte-identical outputs, and write the JSON report")
+		kernelOut = flag.String("kernel-out", "BENCH_kernels.json", "output path for the -kernel-suite report")
 	)
 	flag.IntVar(&cfg.BioDownscale, "bio-downscale", cfg.BioDownscale, "bio network gene-count divisor (1 = paper size)")
 	flag.IntVar(&cfg.MaxProcs, "maxprocs", cfg.MaxProcs, "max workers in scaling sweeps (0 = GOMAXPROCS)")
@@ -58,6 +64,13 @@ func main() {
 	}
 	if *batchN > 0 {
 		if err := batchBench(*batchN, *batchOut, cfg.Trials); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kernelRun {
+		if err := kernelBench(*kernelOut, cfg.Trials); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -90,7 +103,17 @@ type batchReport struct {
 	Items  int `json:"items"`
 	Unique int `json:"unique"`
 	CPUs   int `json:"cpus"`
-	Trials int `json:"trials"`
+	// GOMAXPROCS and the tuner's calibrated kernel parameters pin down
+	// the machine conditions of the data point.
+	GOMAXPROCS           int `json:"gomaxprocs"`
+	TunedGrain           int `json:"tunedGrain"`
+	TunedDegreeThreshold int `json:"tunedDegreeThreshold"`
+	// OverlapValid marks whether the batched-vs-sequential comparison
+	// measures real overlap: false on a single-CPU machine, where the
+	// shared pool cannot run items concurrently and any speedup is
+	// scheduling noise rather than won overlap.
+	OverlapValid bool `json:"overlapValid"`
+	Trials       int  `json:"trials"`
 	// SequentialMillis is N independent Spec.Run calls back-to-back;
 	// BatchMillis the same suite through chordal.Batch; Speedup their
 	// ratio (fastest trial each).
@@ -147,11 +170,16 @@ func batchBench(n int, out string, trials int) error {
 	if trials < 1 {
 		trials = 1
 	}
+	prof := tune.Current()
 	rep := batchReport{
-		Items:     n,
-		CPUs:      runtime.NumCPU(),
-		Trials:    trials,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Items:                n,
+		CPUs:                 runtime.NumCPU(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		TunedGrain:           prof.Grain,
+		TunedDegreeThreshold: prof.DegreeThreshold,
+		OverlapValid:         runtime.NumCPU() > 1,
+		Trials:               trials,
+		Timestamp:            time.Now().UTC().Format(time.RFC3339),
 	}
 	measure := func(specs []chordal.Spec) (seqMs, batchMs float64, unique int, err error) {
 		seqMs, err = bestMillis(trials, func() error {
@@ -196,6 +224,9 @@ func batchBench(n int, out string, trials int) error {
 	fmt.Printf("  chordal.Batch:       %10.3f ms   (%.2fx)\n", rep.BatchMillis, rep.Speedup)
 	fmt.Printf("  dedup shape (%d unique): sequential %.3f ms, batch %.3f ms (%.2fx)\n",
 		rep.DedupUnique, rep.DedupSequentialMillis, rep.DedupBatchMillis, rep.DedupSpeedup)
+	if !rep.OverlapValid {
+		fmt.Println("  note: single CPU — the overlap comparison is not meaningful (overlapValid=false)")
+	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -206,6 +237,207 @@ func batchBench(n int, out string, trials int) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// kernelPoint is one cell of the kernel sweep: a (source, workers,
+// grain, degree-threshold) configuration with its fastest extraction
+// time and the FNV-1a hash of its edge set (the byte-identity witness).
+type kernelPoint struct {
+	Source          string  `json:"source"`
+	Workers         int     `json:"workers"`
+	Grain           int     `json:"grain"`
+	DegreeThreshold int     `json:"degreeThreshold"`
+	Millis          float64 `json:"millis"`
+	ChordalEdges    int     `json:"chordalEdges"`
+	Iterations      int     `json:"iterations"`
+	EdgeHash        string  `json:"edgeHash"`
+}
+
+// kernelSummary compares, per source at equal worker count, the best
+// pure merge-scan configuration against the best hybrid one.
+type kernelSummary struct {
+	Source          string  `json:"source"`
+	Workers         int     `json:"workers"`
+	MergeScanMillis float64 `json:"mergeScanMillis"`
+	HybridMillis    float64 `json:"hybridMillis"`
+	// Speedup is mergeScan/hybrid: > 1 means the hybrid path won.
+	Speedup float64 `json:"speedup"`
+}
+
+// kernelReport is the JSON record of one -kernel-suite run.
+type kernelReport struct {
+	CPUs                 int `json:"cpus"`
+	GOMAXPROCS           int `json:"gomaxprocs"`
+	TunedGrain           int `json:"tunedGrain"`
+	TunedDegreeThreshold int `json:"tunedDegreeThreshold"`
+	Trials               int `json:"trials"`
+	// ByteIdentical reports that every configuration of every source
+	// produced the same edge-set hash — the sweep's correctness gate.
+	ByteIdentical bool            `json:"byteIdentical"`
+	Points        []kernelPoint   `json:"points"`
+	Summary       []kernelSummary `json:"summary"`
+	Timestamp     string          `json:"timestamp"`
+}
+
+// edgeHash is the FNV-1a digest of an edge set in its canonical (U, V)
+// order; equal hashes across configurations witness byte-identical
+// extractions.
+func edgeHash(edges []chordal.Edge) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, e := range edges {
+		buf[0] = byte(e.U)
+		buf[1] = byte(e.U >> 8)
+		buf[2] = byte(e.U >> 16)
+		buf[3] = byte(e.U >> 24)
+		buf[4] = byte(e.V)
+		buf[5] = byte(e.V >> 8)
+		buf[6] = byte(e.V >> 16)
+		buf[7] = byte(e.V >> 24)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// kernelSources is the generator zoo of the kernel sweep: skewed R-MAT
+// (hub-heavy, the paper's main inputs) at two densities, a bio-suite
+// network (dense correlated clusters), a k-tree (uniformly large
+// chordal sets), and a uniform G(n,m) control.
+var kernelSources = []string{
+	"rmat-g:12",
+	"rmat-b:12:42:16",
+	"gse5140-crt:8",
+	"ktree:3000:48",
+	"gnm:4096:65536",
+}
+
+// kernelBench sweeps degree-threshold x grain x workers over the
+// generator zoo, verifies that every configuration extracts the same
+// edge set, prints the merge-scan vs hybrid comparison, and writes the
+// JSON report to out. Exits non-zero if any configuration's edge set
+// diverges.
+func kernelBench(out string, trials int) error {
+	if trials < 1 {
+		trials = 1
+	}
+	prof := tune.Current()
+	rep := kernelReport{
+		CPUs:                 runtime.NumCPU(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		TunedGrain:           prof.Grain,
+		TunedDegreeThreshold: prof.DegreeThreshold,
+		Trials:               trials,
+		ByteIdentical:        true,
+		Timestamp:            time.Now().UTC().Format(time.RFC3339),
+	}
+	thresholds := dedupInts([]int{-1, 2, prof.DegreeThreshold, 128})
+	grains := dedupInts([]int{16, prof.Grain, 256})
+	workerAxis := []int{1, 2}
+
+	fmt.Printf("kernel suite: %d CPUs, best of %d trials; tuned grain=%d threshold=%d\n",
+		rep.CPUs, trials, prof.Grain, prof.DegreeThreshold)
+	for _, source := range kernelSources {
+		acq, err := chordal.Spec{Source: source, Engine: chordal.EngineNone}.Run()
+		if err != nil {
+			return err
+		}
+		g := acq.Input
+		fmt.Printf("\n%s: %s\n", source, acq.InputStats)
+		wantHash := ""
+		// Per (source, workers): fastest merge-scan and hybrid cells.
+		type best struct{ merge, hybrid float64 }
+		bests := map[int]*best{}
+		for _, workers := range workerAxis {
+			bests[workers] = &best{}
+			for _, grain := range grains {
+				for _, thr := range thresholds {
+					pt := kernelPoint{
+						Source:          source,
+						Workers:         workers,
+						Grain:           grain,
+						DegreeThreshold: thr,
+					}
+					for t := 0; t < trials; t++ {
+						res, err := chordal.Extract(g, chordal.Options{
+							Workers:         workers,
+							Grain:           grain,
+							DegreeThreshold: thr,
+						})
+						if err != nil {
+							return err
+						}
+						ms := float64(res.Total.Microseconds()) / 1000
+						if pt.Millis == 0 || ms < pt.Millis {
+							pt.Millis = ms
+							pt.ChordalEdges = res.NumChordalEdges()
+							pt.Iterations = len(res.Iterations)
+							pt.EdgeHash = edgeHash(res.Edges)
+						}
+					}
+					if wantHash == "" {
+						wantHash = pt.EdgeHash
+					} else if pt.EdgeHash != wantHash {
+						rep.ByteIdentical = false
+						fmt.Printf("  DIVERGED: workers=%d grain=%d threshold=%d hash %s != %s\n",
+							workers, grain, thr, pt.EdgeHash, wantHash)
+					}
+					b := bests[workers]
+					if thr < 0 {
+						if b.merge == 0 || pt.Millis < b.merge {
+							b.merge = pt.Millis
+						}
+					} else if b.hybrid == 0 || pt.Millis < b.hybrid {
+						b.hybrid = pt.Millis
+					}
+					rep.Points = append(rep.Points, pt)
+				}
+			}
+		}
+		for _, workers := range workerAxis {
+			b := bests[workers]
+			s := kernelSummary{
+				Source:          source,
+				Workers:         workers,
+				MergeScanMillis: b.merge,
+				HybridMillis:    b.hybrid,
+			}
+			if b.hybrid > 0 {
+				s.Speedup = b.merge / b.hybrid
+			}
+			rep.Summary = append(rep.Summary, s)
+			fmt.Printf("  workers=%d: merge-scan %8.3f ms, hybrid %8.3f ms (%.2fx)\n",
+				workers, s.MergeScanMillis, s.HybridMillis, s.Speedup)
+		}
+	}
+
+	if rep.ByteIdentical {
+		fmt.Println("\nbyte-identity: all configurations extracted identical edge sets")
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !rep.ByteIdentical {
+		return fmt.Errorf("kernel sweep outputs diverged across configurations")
+	}
+	return nil
+}
+
+// dedupInts drops duplicates preserving first occurrence.
+func dedupInts(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // sweep measures pipeline acquisition once and extraction across a

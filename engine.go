@@ -9,8 +9,10 @@ import (
 
 	"chordal/internal/core"
 	"chordal/internal/dearing"
+	"chordal/internal/parallel"
 	"chordal/internal/partition"
 	"chordal/internal/shard"
+	"chordal/internal/tune"
 )
 
 // This file defines the pluggable extraction-engine seam. An Engine
@@ -58,6 +60,9 @@ type EngineResult struct {
 	Partition *PartitionSummary
 	// Shard summarizes the sharded extraction, when used.
 	Shard *ShardSummary
+	// Tuning is the resolved kernel tuning of the run; nil for engines
+	// that do not use the tunable kernels (serial, partitioned).
+	Tuning *Tuning
 }
 
 // Engine is one extraction strategy. Implementations must be safe for
@@ -120,6 +125,37 @@ func init() {
 	RegisterEngine(shardedEngine{})
 }
 
+// resolveTuning fills the kernel tuning of opts in place and returns
+// the decision record: explicit spec values win, everything left unset
+// comes from the startup calibration (tune.Current), and when the
+// caller did not bound Workers the cache-CPU model picks the width
+// with the smallest predicted runtime for the input's estimated
+// workload (clamped to local parallelism — on small inputs the model
+// knows that extra cores only add barrier cost).
+func resolveTuning(opts *Options, g *Graph) Tuning {
+	prof := tune.Current()
+	t := Tuning{Source: prof.Source}
+	if opts.Grain <= 0 {
+		opts.Grain = prof.Grain
+	} else {
+		t.Source = "spec"
+	}
+	if opts.DegreeThreshold == 0 {
+		opts.DegreeThreshold = prof.DegreeThreshold
+	} else {
+		t.Source = "spec"
+	}
+	t.Grain = opts.Grain
+	t.DegreeThreshold = opts.DegreeThreshold
+	if opts.Workers <= 0 {
+		w, model := tune.Width(tune.EstimateTrace(g.NumVertices(), g.NumEdges()), 0)
+		opts.Workers = w
+		t.WidthModel = model
+	}
+	t.Workers = parallel.WorkerCount(opts.Workers)
+	return t
+}
+
 // parallelEngine is the paper's multithreaded Algorithm 1 on the whole
 // graph.
 type parallelEngine struct{}
@@ -133,7 +169,9 @@ func (parallelEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (
 	if err != nil {
 		return nil, err
 	}
+	tun := resolveTuning(&opts, g)
 	if obs := cfg.Observer; obs != nil {
+		obs(newTuningEvent(tun))
 		inner := opts.OnIteration
 		opts.OnIteration = func(it IterationStats) {
 			if inner != nil {
@@ -146,7 +184,7 @@ func (parallelEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (
 	if err != nil {
 		return nil, err
 	}
-	return &EngineResult{Subgraph: r.ToGraph(), Extraction: r}, nil
+	return &EngineResult{Subgraph: r.ToGraph(), Extraction: r, Tuning: &tun}, nil
 }
 
 // serialEngine is the Dearing-Shier-Warner serial baseline.
@@ -207,6 +245,7 @@ func (shardedEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*
 	if err != nil {
 		return nil, err
 	}
+	tun := resolveTuning(&opts, g)
 	sOpts := shard.Options{
 		Shards:     cfg.Shards,
 		Core:       opts,
@@ -214,6 +253,7 @@ func (shardedEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*
 		Repair:     opts.RepairMaximality,
 	}
 	if obs := cfg.Observer; obs != nil {
+		obs(newTuningEvent(tun))
 		sOpts.OnShardIteration = func(sh int, it IterationStats) {
 			shardIdx := sh
 			obs(newIterationEvent(&shardIdx, it))
@@ -237,5 +277,5 @@ func (shardedEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*
 		sum.PerShardEdges = append(sum.PerShardEdges, st.ChordalEdges)
 		sum.InteriorEdges += st.ChordalEdges
 	}
-	return &EngineResult{Subgraph: r.Subgraph, Shard: sum}, nil
+	return &EngineResult{Subgraph: r.Subgraph, Shard: sum, Tuning: &tun}, nil
 }

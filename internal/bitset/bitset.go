@@ -119,6 +119,46 @@ func (a *Atomic) Reset() {
 	}
 }
 
+// Epoch is a single-owner membership set over [0, n) with O(1) clearing:
+// a slot is a member exactly when its tag equals the current epoch, so
+// Clear is one integer increment instead of an O(n) (or O(members))
+// reset. It is the non-atomic sibling of EpochSet, intended for
+// per-worker scratch on hot paths — the extraction kernel's hybrid
+// subset test and the separator checks of verify.CanAddEdge
+// materialize neighborhoods into one of these and discard them per
+// vertex or per edge without paying a reset loop.
+type Epoch struct {
+	tags []uint32
+	cur  uint32
+}
+
+// NewEpoch returns an Epoch set over [0, n) with an empty membership.
+func NewEpoch(n int) *Epoch {
+	return &Epoch{tags: make([]uint32, n), cur: 1}
+}
+
+// Len returns the capacity of the set.
+func (e *Epoch) Len() int { return len(e.tags) }
+
+// Add makes i a member of the current epoch.
+func (e *Epoch) Add(i int32) { e.tags[i] = e.cur }
+
+// Contains reports whether i is a member in the current epoch.
+func (e *Epoch) Contains(i int32) bool { return e.tags[i] == e.cur }
+
+// Clear empties the set in O(1) by advancing the epoch. After 2^32-1
+// epochs the tag space wraps; Clear then pays one full reset to keep
+// correctness.
+func (e *Epoch) Clear() {
+	e.cur++
+	if e.cur == 0 { // wrapped: stale tags could alias, so reset them
+		for i := range e.tags {
+			e.tags[i] = 0
+		}
+		e.cur = 1
+	}
+}
+
 // EpochSet is a concurrency-safe membership set over [0, n) whose entire
 // contents can be discarded in O(1) by advancing the epoch. A slot is a
 // member exactly when its stored tag equals the current epoch. This is

@@ -197,6 +197,65 @@ func TestEpochWraparound(t *testing.T) {
 	}
 }
 
+func TestEpochBasic(t *testing.T) {
+	e := NewEpoch(64)
+	if e.Len() != 64 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	for _, i := range []int32{0, 7, 63} {
+		if e.Contains(i) {
+			t.Fatalf("member %d initially", i)
+		}
+		e.Add(i)
+		if !e.Contains(i) {
+			t.Fatalf("Contains(%d) false after Add", i)
+		}
+	}
+	e.Clear()
+	for i := int32(0); i < 64; i++ {
+		if e.Contains(i) {
+			t.Fatalf("membership of %d survived Clear", i)
+		}
+	}
+	e.Add(5)
+	if !e.Contains(5) {
+		t.Fatal("Add after Clear failed")
+	}
+}
+
+func TestEpochWrap(t *testing.T) {
+	e := NewEpoch(8)
+	e.Add(1)
+	e.cur = ^uint32(0)
+	e.Add(2)
+	e.Clear() // wraps: must reset all tags
+	for i := int32(0); i < 8; i++ {
+		if e.Contains(i) {
+			t.Fatalf("stale member %d after wraparound", i)
+		}
+	}
+	e.Add(3)
+	if !e.Contains(3) || e.Contains(1) || e.Contains(2) {
+		t.Fatal("membership wrong after wraparound")
+	}
+}
+
+func TestEpochManyClears(t *testing.T) {
+	// Membership must track exactly the adds since the last Clear,
+	// across many epochs.
+	e := NewEpoch(16)
+	for round := int32(0); round < 500; round++ {
+		member := round % 16
+		e.Add(member)
+		for i := int32(0); i < 16; i++ {
+			if e.Contains(i) != (i == member) {
+				t.Fatalf("round %d: Contains(%d) = %v", round, i, e.Contains(i))
+			}
+		}
+		e.Clear()
+	}
+}
+
 func BenchmarkAtomicTestAndSet(b *testing.B) {
 	a := NewAtomic(1 << 20)
 	for i := 0; i < b.N; i++ {

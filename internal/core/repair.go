@@ -19,20 +19,21 @@ import (
 // largest candidate set, a global greedy choice the parallel algorithm
 // gives up). Admission uses the dynamic-chordal-graph separator
 // criterion (verify.CanAddEdge), so chordality is preserved exactly.
-func repairMaximality(g *graph.Graph, res *Result) {
+func repairMaximality(g *graph.Graph, res *Result, threshold int) {
 	adj := verify.AdjFromGraph(res.ToGraph())
-	scratch := make([]int32, len(adj))
+	scratch := verify.NewScratch(len(adj), threshold)
 	for changed := true; changed; {
 		changed = false
 		g.Edges(func(u, v int32) {
 			if res.HasChordalEdge(u, v) {
 				return
 			}
-			if !verify.CanAddEdge(adj, u, v, scratch) {
+			if !scratch.CanAddEdge(adj, u, v) {
 				return
 			}
 			adj[u] = append(adj[u], v)
 			adj[v] = append(adj[v], u)
+			scratch.Invalidate()
 			res.addChordalEdge(u, v)
 			res.RepairedEdges++
 			changed = true

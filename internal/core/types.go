@@ -120,6 +120,19 @@ type Options struct {
 	Workers int
 	// Schedule selects the test-ordering discipline; see Schedule.
 	Schedule Schedule
+	// Grain is the chunk size of the per-iteration parallel loop (how
+	// many queued parents one work-stealing grab claims); <= 0 picks the
+	// built-in default. The root-package engines pass the calibrated
+	// grain from internal/tune here.
+	Grain int
+	// DegreeThreshold is the chordal-set size at or above which the
+	// subset test C[w] ⊆ C[parent] materializes C[parent] into a
+	// per-worker epoch set and probes each element of C[w] in O(|C[w]|),
+	// instead of merge-scanning in O(|C[parent]|). 0 picks the built-in
+	// default; negative disables the hybrid path (pure merge scan).
+	// The choice never changes the extracted edge set — the probe is an
+	// exact subset test against the same published prefix.
+	DegreeThreshold int
 	// UnsortedQueue leaves each iteration's queue in arrival order
 	// instead of ascending vertex order. Successive lowest parents have
 	// increasing ids, so the default ascending queue lets dataflow
@@ -196,6 +209,13 @@ type Result struct {
 	RepairedEdges int
 	// StitchedEdges counts edges added by the StitchComponents pass.
 	StitchedEdges int
+	// WorkersUsed, Grain, and DegreeThreshold are the resolved kernel
+	// parameters the run actually used (defaults applied), recorded so
+	// reports and benchmarks can state them without re-deriving the
+	// resolution rules.
+	WorkersUsed     int
+	Grain           int
+	DegreeThreshold int
 
 	// workers is the worker bound the extraction ran under (0 = machine
 	// width); ToGraph materializes the subgraph inside the same bound so

@@ -315,10 +315,13 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 		adj[e.U] = append(adj[e.U], e.V)
 		adj[e.V] = append(adj[e.V], e.U)
 	}
-	scratch := make([]int32, n)
+	scratch := verify.NewScratch(n, opts.Core.DegreeThreshold)
 	admit := func(u, v int32) {
 		adj[u] = append(adj[u], v)
 		adj[v] = append(adj[v], u)
+		// The cached neighborhood may belong to u or v, whose lists
+		// just grew.
+		scratch.Invalidate()
 		res.Edges = append(res.Edges, core.Edge{U: u, V: v})
 	}
 
@@ -327,12 +330,15 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 	// everything g connects), so the separator criterion can only
 	// admit an edge whose endpoints share a chordal neighbor — an
 	// empty N(u) ∩ N(v) cannot separate connected vertices. Rejecting
-	// on that cheap triangle-style intersection first (the merge-scan
-	// idea of partition.closesTriangle) skips the exact check's BFS
-	// for the vast majority of border edges, which would otherwise
-	// walk most of the merged graph per rejection.
+	// on that cheap intersection first skips the exact check's BFS for
+	// the vast majority of border edges, which would otherwise walk
+	// most of the merged graph per rejection. The scratch's epoch sets
+	// make each probe O(deg(small)) with no restore loop, and border
+	// edges arrive in ascending-u order, so a high-degree endpoint's
+	// marked neighborhood is built once and reused across consecutive
+	// candidates.
 	candidate := func(u, v int32) bool {
-		return hasCommonNeighbor(adj, u, v, scratch)
+		return scratch.HasCommonNeighbor(adj, u, v)
 	}
 
 	// Pass 2 — exact border admission in deterministic order. The
@@ -345,7 +351,7 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 			if i%256 == 0 && ctx.Err() != nil {
 				return
 			}
-			if candidate(e.U, e.V) && verify.CanAddEdge(adj, e.U, e.V, scratch) {
+			if candidate(e.U, e.V) && scratch.CanAddEdge(adj, e.U, e.V) {
 				admit(e.U, e.V)
 				res.BorderAdmitted++
 			}
@@ -373,7 +379,7 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 				if present[int64(u)<<32|int64(v)] {
 					return
 				}
-				if !candidate(u, v) || !verify.CanAddEdge(adj, u, v, scratch) {
+				if !candidate(u, v) || !scratch.CanAddEdge(adj, u, v) {
 					return
 				}
 				admit(u, v)
@@ -383,30 +389,6 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 			})
 		}
 	}
-}
-
-// hasCommonNeighbor reports whether u and v share a neighbor in adj,
-// marking the smaller list in scratch (restored to zero before
-// returning, so callers can interleave it with verify.CanAddEdge's use
-// of the same scratch).
-func hasCommonNeighbor(adj [][]int32, u, v int32, scratch []int32) bool {
-	if len(adj[u]) > len(adj[v]) {
-		u, v = v, u
-	}
-	for _, x := range adj[u] {
-		scratch[x] = 1
-	}
-	found := false
-	for _, x := range adj[v] {
-		if scratch[x] == 1 {
-			found = true
-			break
-		}
-	}
-	for _, x := range adj[u] {
-		scratch[x] = 0
-	}
-	return found
 }
 
 // sortEdges orders edges by (U, V), the canonical order every

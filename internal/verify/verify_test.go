@@ -129,7 +129,7 @@ func TestAdjFromGraph(t *testing.T) {
 }
 
 func TestCanAddEdgeKnownCases(t *testing.T) {
-	scratch := make([]int32, 8)
+	scratch := NewScratch(8, 0)
 	// Path 0-1-2: closing 0-2 forms a triangle: allowed.
 	adj := AdjFromGraph(path(3))
 	if !CanAddEdge(adj, 0, 2, scratch) {
@@ -151,6 +151,106 @@ func TestCanAddEdgeKnownCases(t *testing.T) {
 	if CanAddEdge(adj, 0, 5, scratch) {
 		t.Fatal("long-cycle closure accepted")
 	}
+	// A nil scratch allocates internally and agrees.
+	if CanAddEdge(adj, 0, 5, nil) {
+		t.Fatal("nil-scratch call disagrees")
+	}
+}
+
+// referenceCanAddEdge is the pre-epoch-set implementation of the
+// separator criterion, kept verbatim as the oracle for the equivalence
+// property test: mark-and-restore over a plain []int32 scratch.
+func referenceCanAddEdge(adj [][]int32, u, v int32, scratch []int32) bool {
+	const (
+		inSep   = 1
+		visited = 2
+	)
+	for _, x := range adj[u] {
+		scratch[x] = inSep
+	}
+	sep := make([]int32, 0, len(adj[u]))
+	for _, x := range adj[v] {
+		if scratch[x] == inSep {
+			sep = append(sep, x)
+		}
+	}
+	for _, x := range adj[u] {
+		scratch[x] = 0
+	}
+	for _, x := range sep {
+		scratch[x] = inSep
+	}
+	queue := []int32{u}
+	seen := []int32{u}
+	scratch[u] = visited
+	reached := false
+	for len(queue) > 0 && !reached {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, y := range adj[x] {
+			if y == v {
+				reached = true
+				break
+			}
+			if scratch[y] == 0 {
+				scratch[y] = visited
+				seen = append(seen, y)
+				queue = append(queue, y)
+			}
+		}
+	}
+	for _, x := range seen {
+		scratch[x] = 0
+	}
+	for _, x := range sep {
+		scratch[x] = 0
+	}
+	return !reached
+}
+
+// TestCanAddEdgeMatchesReference pins the epoch-set rewrite against the
+// original mark-and-restore implementation on random graphs, with the
+// Scratch reused (dirty) across every query — the reuse pattern of the
+// border-admission and repair passes.
+func TestCanAddEdgeMatchesReference(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := 4 + int(nRaw%60)
+		rng := xrand.NewXoshiro256(seed)
+		adj := make([][]int32, n)
+		ref := make([]int32, n)
+		sc := NewScratch(n, 4) // low threshold: exercise the cache
+		for k := 0; k < int(mRaw%300); k++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v || contains(adj[u], v) {
+				continue
+			}
+			want := referenceCanAddEdge(adj, u, v, ref)
+			if sc.CanAddEdge(adj, u, v) != want {
+				return false
+			}
+			// HasCommonNeighbor must match a direct intersection scan.
+			common := false
+			for _, x := range adj[u] {
+				if contains(adj[v], x) {
+					common = true
+					break
+				}
+			}
+			if sc.HasCommonNeighbor(adj, u, v) != common {
+				return false
+			}
+			if want {
+				adj[u] = append(adj[u], v)
+				adj[v] = append(adj[v], u)
+				sc.Invalidate()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestCanAddEdgeMatchesFullRecheck(t *testing.T) {
@@ -162,14 +262,14 @@ func TestCanAddEdgeMatchesFullRecheck(t *testing.T) {
 		rng := xrand.NewXoshiro256(seed)
 		// Grow a random chordal graph by inserting random safe edges.
 		adj := make([][]int32, n)
-		scratch := make([]int32, n)
+		scratch := NewScratch(n, 0)
 		for k := 0; k < int(mRaw%200); k++ {
 			u := int32(rng.Intn(n))
 			v := int32(rng.Intn(n))
 			if u == v || contains(adj[u], v) {
 				continue
 			}
-			if CanAddEdge(adj, u, v, scratch) {
+			if scratch.CanAddEdge(adj, u, v) {
 				adj[u] = append(adj[u], v)
 				adj[v] = append(adj[v], u)
 				if !IsChordalAdj(adj) {
@@ -203,16 +303,20 @@ func contains(s []int32, x int32) bool {
 	return false
 }
 
-func TestCanAddEdgeScratchRestored(t *testing.T) {
+func TestCanAddEdgeScratchReuse(t *testing.T) {
+	// A Scratch carries no state between calls: the same query must
+	// answer identically on a fresh scratch and on one dirtied by
+	// unrelated queries against other graphs.
 	adj := AdjFromGraph(complete(6))
 	adj[0] = adj[0][:0] // detach 0: then 0-1 is addable
 	adj[1] = adj[1][:4]
-	scratch := make([]int32, 6)
-	CanAddEdge(adj, 0, 1, scratch)
-	for i, v := range scratch {
-		if v != 0 {
-			t.Fatalf("scratch[%d] = %d left dirty", i, v)
-		}
+	fresh := NewScratch(6, 0)
+	want := fresh.CanAddEdge(adj, 0, 1)
+	dirty := NewScratch(6, 0)
+	dirty.CanAddEdge(AdjFromGraph(path(6)), 0, 5)
+	dirty.HasCommonNeighbor(AdjFromGraph(complete(6)), 2, 3)
+	if dirty.CanAddEdge(adj, 0, 1) != want {
+		t.Fatal("dirty scratch changed the answer")
 	}
 }
 

@@ -211,6 +211,9 @@ type PipelineResult struct {
 	Partition *PartitionSummary
 	// Shard summarizes the sharded extraction, when used.
 	Shard *ShardSummary
+	// Tuning is the resolved kernel tuning of the extract stage; nil
+	// when no extraction ran or the engine has no tunable kernels.
+	Tuning *Tuning
 	// Verified reports whether the verify stage ran; ChordalOK whether
 	// the subgraph passed the chordality check.
 	Verified  bool

@@ -70,6 +70,10 @@ type RunReport struct {
 	Input ReportInput `json:"input"`
 	// Extraction summarizes the engine stage; nil for engine "none".
 	Extraction *ReportExtraction `json:"extraction,omitempty"`
+	// Tuning is the resolved kernel tuning of the extract stage (grain,
+	// degree threshold, worker width, and how each was decided); nil
+	// for engines without tunable kernels.
+	Tuning *Tuning `json:"tuning,omitempty"`
 	// Verify carries the verify outcome; nil when verification was off.
 	Verify *ReportVerify `json:"verify,omitempty"`
 	// Timings holds per-stage wall-clock durations in stage order;
@@ -193,6 +197,10 @@ func Report(s Spec, res *PipelineResult) (RunReport, error) {
 			ex.StitchedEdges = sh.StitchedEdges
 		}
 		rep.Extraction = ex
+	}
+	if res.Tuning != nil {
+		t := *res.Tuning
+		rep.Tuning = &t
 	}
 	if res.Verified {
 		rep.Verify = &ReportVerify{

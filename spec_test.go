@@ -47,10 +47,12 @@ func TestSpecCanonicalGolden(t *testing.T) {
 				Relabel: "BFS",
 				Engine:  "parallel",
 				EngineConfig: chordal.EngineConfig{
-					Variant:  "unopt",
-					Schedule: "sync",
-					Workers:  8, // excluded from identity
-					Repair:   true,
+					Variant:         "unopt",
+					Schedule:        "sync",
+					Workers:         8,   // excluded from identity
+					Grain:           128, // excluded from identity
+					DegreeThreshold: 16,  // excluded from identity
+					Repair:          true,
 				},
 				Verify: true,
 				Output: "sub.bin", // excluded from identity
