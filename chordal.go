@@ -42,6 +42,7 @@ import (
 	"chordal/internal/dearing"
 	"chordal/internal/elimination"
 	"chordal/internal/graph"
+	"chordal/internal/quality"
 	"chordal/internal/rmat"
 	"chordal/internal/shard"
 	"chordal/internal/synth"
@@ -282,6 +283,26 @@ func GenerateGeometric(n int, radius float64, seed uint64) *Graph {
 // GenerateKTree returns a k-tree on n vertices — a maximal chordal
 // graph of treewidth k, useful as ground truth for extraction quality.
 func GenerateKTree(n, k int, seed uint64) *Graph { return synth.KTree(n, k, seed) }
+
+// Quality scores an extracted chordal subgraph against its input:
+// edge retention, fill-in under the subgraph's perfect elimination
+// ordering, and the exact chordal-graph invariants (treewidth,
+// chromatic number). Populated on PipelineResult.Quality and
+// RunReport.Quality; compute directly with ComputeQuality.
+type Quality = quality.Metrics
+
+// QualityLimits bounds the expensive metric groups of ComputeQuality.
+type QualityLimits = quality.Limits
+
+// DefaultQualityLimits returns the bounds the Runner applies to its
+// always-on quality reporting.
+func DefaultQualityLimits() QualityLimits { return quality.DefaultLimits() }
+
+// ComputeQuality scores the chordal subgraph sub against its input
+// graph g. sub must be chordal and share g's vertex set.
+func ComputeQuality(g, sub *Graph, lim QualityLimits) (*Quality, error) {
+	return quality.Compute(g, sub, lim)
+}
 
 // Fill counts the fill edges symbolic elimination creates on g under
 // the given ordering; zero exactly when the ordering is a perfect

@@ -53,6 +53,8 @@ func main() {
 		parts      = flag.Int("partition", 0, "use the distributed-style partitioned engine with this many partitions (plus cycle cleanup)")
 		shards     = flag.Int("shards", 0, "use the sharded engine with this many vertex-range shards (border edges reconciled chordality-preserving)")
 		stitchOnly = flag.Bool("shard-stitch-only", false, "with -shards: reconcile border edges by spanning stitch only")
+		startV     = flag.Int("start", 0, "with -engine dearing: start vertex the incremental extraction grows from")
+		order      = flag.String("order", "", "with -engine elimination: elimination ordering, natural|mindeg (default mindeg)")
 		repair     = flag.Bool("repair", false, "run the maximality repair post-pass")
 		stitch     = flag.Bool("stitch", false, "stitch disconnected chordal components")
 		bfs        = flag.Bool("bfs-relabel", false, "renumber vertices in BFS order before extraction")
@@ -82,6 +84,8 @@ func main() {
 			Partitions:      *parts,
 			Shards:          *shards,
 			ShardStitchOnly: *stitchOnly,
+			Start:           *startV,
+			Order:           *order,
 		},
 		Verify:  *doVerify,
 		Relabel: relabelFlag(*bfs),
@@ -145,6 +149,12 @@ func main() {
 	case chordal.EngineSerial:
 		fmt.Printf("serial (Dearing et al.): %d chordal edges in %s\n",
 			res.Subgraph.NumEdges(), res.SerialDuration)
+	case chordal.EngineDearing:
+		fmt.Printf("dearing (start vertex %d): %d chordal edges in %s\n",
+			res.Dearing.Start, res.Subgraph.NumEdges(), res.SerialDuration)
+	case chordal.EngineElimination:
+		fmt.Printf("elimination (%s order): %d chordal edges (not necessarily maximal)\n",
+			res.Elimination.Order, res.Subgraph.NumEdges())
 	case chordal.EnginePartitioned:
 		ps := res.Partition
 		fmt.Printf("partitioned (%d parts): %d interior + %d border edges kept; cleanup removed %d in %d rounds\n",
@@ -198,6 +208,17 @@ func main() {
 			fmt.Printf("maximality audit: %d+ re-addable edges (see DESIGN.md §5; rerun with -repair)\n",
 				res.ReAddableEdges)
 		}
+	}
+
+	if q := res.Quality; q != nil {
+		fmt.Printf("quality: retained %d/%d edges (%.1f%%)", q.EdgesRetained, q.EdgesInput, q.RetentionPct)
+		if q.FillComputed {
+			fmt.Printf(", fill-in under subgraph PEO %d", q.FillIn)
+		}
+		if q.CliquesComputed {
+			fmt.Printf(", treewidth %d, chromatic number %d", q.Treewidth, q.ChromaticNumber)
+		}
+		fmt.Println()
 	}
 
 	if *out != "" {

@@ -9,6 +9,7 @@ import (
 
 	"chordal/internal/core"
 	"chordal/internal/dearing"
+	"chordal/internal/elimination"
 	"chordal/internal/parallel"
 	"chordal/internal/partition"
 	"chordal/internal/shard"
@@ -41,9 +42,29 @@ const (
 	// and reconciles border edges chordality-preserving (DESIGN.md §7);
 	// requires Shards >= 1.
 	EngineSharded = "sharded"
+	// EngineDearing runs the serial Dearing-Shier-Warner incremental
+	// extractor from an explicit start vertex (EngineConfig.Start);
+	// unlike EngineSerial it exposes the start vertex as part of the
+	// run's identity and records it in the report.
+	EngineDearing = "dearing"
+	// EngineElimination builds the chordal subgraph induced by a
+	// fill-reducing elimination order (EngineConfig.Order selects the
+	// natural or greedy minimum-degree ordering). The result is chordal
+	// by construction but not necessarily maximal.
+	EngineElimination = "elimination"
 	// EngineNone is not a registered Engine: it marks a Spec that stops
 	// after acquire/relabel (and optional write), extracting nothing.
 	EngineNone = "none"
+)
+
+// Elimination-order names accepted by EngineConfig.Order for the
+// elimination engine.
+const (
+	// OrderNatural eliminates vertices in identity order 0..n-1.
+	OrderNatural = "natural"
+	// OrderMinDegree eliminates by the classic greedy minimum-degree
+	// heuristic (the default for the elimination engine).
+	OrderMinDegree = "mindeg"
 )
 
 // EngineResult is the outcome of one Engine.Extract call. Subgraph is
@@ -60,6 +81,10 @@ type EngineResult struct {
 	Partition *PartitionSummary
 	// Shard summarizes the sharded extraction, when used.
 	Shard *ShardSummary
+	// Dearing summarizes the dearing engine run, when used.
+	Dearing *DearingSummary
+	// Elimination summarizes the elimination engine run, when used.
+	Elimination *EliminationSummary
 	// Tuning is the resolved kernel tuning of the run; nil for engines
 	// that do not use the tunable kernels (serial, partitioned).
 	Tuning *Tuning
@@ -123,6 +148,8 @@ func init() {
 	RegisterEngine(serialEngine{})
 	RegisterEngine(partitionedEngine{})
 	RegisterEngine(shardedEngine{})
+	RegisterEngine(dearingEngine{})
+	RegisterEngine(eliminationEngine{})
 }
 
 // resolveTuning fills the kernel tuning of opts in place and returns
@@ -203,6 +230,70 @@ func (serialEngine) Extract(ctx context.Context, g *Graph, _ EngineConfig) (*Eng
 	return &EngineResult{
 		Subgraph:       r.ToGraph(g.NumVertices()),
 		SerialDuration: r.Total,
+	}, nil
+}
+
+// dearingEngine is the Dearing-Shier-Warner incremental extractor run
+// from a caller-chosen start vertex. The start vertex changes which
+// maximal chordal subgraph is found, so it is validated here and kept
+// as part of the run's identity rather than silently clamped.
+type dearingEngine struct{}
+
+// Name implements Engine.
+func (dearingEngine) Name() string { return EngineDearing }
+
+// Extract implements Engine with the dearing package. The extractor is
+// a single uninterruptible pass; ctx is only checked on entry.
+func (dearingEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*EngineResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if cfg.Start < 0 || (n > 0 && cfg.Start >= n) {
+		return nil, fmt.Errorf("chordal: dearing start vertex %d out of range [0, %d)", cfg.Start, n)
+	}
+	r := dearing.Extract(g, int32(cfg.Start))
+	return &EngineResult{
+		Subgraph:       r.ToGraph(n),
+		SerialDuration: r.Total,
+		Dearing:        &DearingSummary{Start: cfg.Start},
+	}, nil
+}
+
+// eliminationEngine builds the chordal subgraph induced by a
+// fill-reducing elimination order. Chordal by construction (the order
+// is a PEO of the result), not necessarily maximal.
+type eliminationEngine struct{}
+
+// Name implements Engine.
+func (eliminationEngine) Name() string { return EngineElimination }
+
+// Extract implements Engine with elimination.ChordalSubgraph. The
+// construction is a single pass; ctx is only checked on entry.
+func (eliminationEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*EngineResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	name := cfg.Order
+	if name == "" {
+		name = OrderMinDegree
+	}
+	var order []int32
+	switch name {
+	case OrderNatural:
+		order = elimination.NaturalOrder(g.NumVertices())
+	case OrderMinDegree:
+		order = elimination.MinDegreeOrder(g)
+	default:
+		return nil, fmt.Errorf("chordal: unknown elimination order %q (want %s|%s)", name, OrderNatural, OrderMinDegree)
+	}
+	sub, err := elimination.ChordalSubgraph(g, order)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineResult{
+		Subgraph:    sub,
+		Elimination: &EliminationSummary{Order: name},
 	}, nil
 }
 

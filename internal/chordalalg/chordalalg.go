@@ -204,7 +204,7 @@ func MaximalCliques(g *graph.Graph) ([][]int32, error) {
 		dominated := false
 		for _, u := range g.Neighbors(v) {
 			if pos[u] < int32(i) && len(later[u]) >= len(later[v])+1 {
-				if containsAll(later[u], v, later[v], pos) {
+				if containsAll(later[u], v, later[v]) {
 					dominated = true
 					break
 				}
@@ -220,7 +220,7 @@ func MaximalCliques(g *graph.Graph) ([][]int32, error) {
 // containsAll reports whether set (a later-neighbor list) contains v and
 // every element of rest. Membership is tested by linear scan; later
 // lists are clique-sized, so this stays near-linear overall.
-func containsAll(set []int32, v int32, rest []int32, _ []int32) bool {
+func containsAll(set []int32, v int32, rest []int32) bool {
 	contains := func(x int32) bool {
 		for _, y := range set {
 			if y == x {

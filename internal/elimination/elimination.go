@@ -14,6 +14,7 @@ package elimination
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"chordal/internal/core"
@@ -27,9 +28,38 @@ import (
 // Complexity is O(V + E + fill·Δ'), where Δ' is the degree in the
 // partially eliminated graph; exact, not an estimate.
 func Fill(g *graph.Graph, order []int32) (int64, error) {
+	fill, _, err := fillGame(g, order, -1, -1)
+	return fill, err
+}
+
+// FillCapped is Fill with a cost bound: the elimination game is
+// abandoned once the fill count exceeds maxFill edges (<= 0 means
+// unbounded), returning the partial count and complete=false. A bad
+// ordering on a non-chordal graph densifies the elimination graph
+// toward completeness, making exact fill Θ(V³); the cap turns
+// "measure the fill" into a bounded probe whose work is O(V + E +
+// (E + maxFill)·Δ'). The abort criterion counts fill edges and pair
+// probes, not time, so capped results stay deterministic.
+func FillCapped(g *graph.Graph, order []int32, maxFill int64) (fill int64, complete bool, err error) {
+	maxOps := int64(-1)
+	if maxFill <= 0 {
+		maxFill = -1
+	} else {
+		// Pair-probe budget: probes either discover fill (bounded by
+		// maxFill) or re-find existing edges, which the elimination game
+		// revisits at most Δ' times each; 64 passes over the capped edge
+		// set is far beyond any run that stays under the fill cap.
+		maxOps = 64 * (int64(g.NumVertices()) + g.NumEdges() + maxFill)
+	}
+	return fillGame(g, order, maxFill, maxOps)
+}
+
+// fillGame runs the elimination game on g in the given order, counting
+// fill edges. Negative caps disable the corresponding bound.
+func fillGame(g *graph.Graph, order []int32, maxFill, maxOps int64) (int64, bool, error) {
 	n := g.NumVertices()
 	if len(order) != n {
-		return 0, fmt.Errorf("elimination: order length %d != %d vertices", len(order), n)
+		return 0, false, fmt.Errorf("elimination: order length %d != %d vertices", len(order), n)
 	}
 	pos := make([]int32, n)
 	for i := range pos {
@@ -37,7 +67,7 @@ func Fill(g *graph.Graph, order []int32) (int64, error) {
 	}
 	for i, v := range order {
 		if v < 0 || int(v) >= n || pos[v] != -1 {
-			return 0, fmt.Errorf("elimination: order is not a permutation")
+			return 0, false, fmt.Errorf("elimination: order is not a permutation")
 		}
 		pos[v] = int32(i)
 	}
@@ -49,7 +79,7 @@ func Fill(g *graph.Graph, order []int32) (int64, error) {
 			adj[v][w] = true
 		}
 	}
-	var fill int64
+	var fill, ops int64
 	for _, v := range order {
 		// Later neighbors of v.
 		later := make([]int32, 0, len(adj[v]))
@@ -62,15 +92,19 @@ func Fill(g *graph.Graph, order []int32) (int64, error) {
 		for i := 0; i < len(later); i++ {
 			for j := i + 1; j < len(later); j++ {
 				a, b := later[i], later[j]
+				ops++
 				if !adj[a][b] {
 					adj[a][b] = true
 					adj[b][a] = true
 					fill++
 				}
 			}
+			if (maxFill >= 0 && fill > maxFill) || (maxOps >= 0 && ops > maxOps) {
+				return fill, false, nil
+			}
 		}
 	}
-	return fill, nil
+	return fill, true, nil
 }
 
 // NaturalOrder returns the identity ordering 0, 1, ..., n-1.
@@ -143,6 +177,11 @@ func MinDegreeOrder(g *graph.Graph) []int32 {
 				nbrs = append(nbrs, w)
 			}
 		}
+		// Map iteration order is randomized; sorting keeps the bucket
+		// push order — and with it equal-degree tie-breaking — identical
+		// across runs, so the ordering (and everything derived from it,
+		// like the elimination engine's subgraph) is deterministic.
+		slices.Sort(nbrs)
 		for i := 0; i < len(nbrs); i++ {
 			a := nbrs[i]
 			delete(adj[a], v)
@@ -162,6 +201,78 @@ func MinDegreeOrder(g *graph.Graph) []int32 {
 		}
 	}
 	return order
+}
+
+// ChordalSubgraph returns the chordal subgraph of g induced by the
+// elimination order: the largest greedy edge set for which order is a
+// perfect elimination ordering. Vertices are processed from the end of
+// the order backwards; each vertex v keeps the edge to a later
+// neighbor w (scanned in ascending order position) exactly when w is
+// adjacent, in the subgraph built so far, to every later neighbor v
+// already kept. Edges among vertices later than v are final when v is
+// processed, so v's kept later neighborhood is a clique of the result
+// and the order is a PEO of it — the result is chordal by
+// construction and a subgraph of g, though not necessarily maximal.
+// The construction is deterministic in (g, order). Complexity is
+// O(V + E·ω) where ω bounds the kept clique sizes.
+func ChordalSubgraph(g *graph.Graph, order []int32) (*graph.Graph, error) {
+	n := g.NumVertices()
+	if len(order) != n {
+		return nil, fmt.Errorf("elimination: order length %d != %d vertices", len(order), n)
+	}
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || int(v) >= n || pos[v] != -1 {
+			return nil, fmt.Errorf("elimination: order is not a permutation")
+		}
+		pos[v] = int32(i)
+	}
+	kept := make([]map[int32]bool, n)
+	var us, vs []int32
+	var later, clique []int32
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		later = later[:0]
+		for _, w := range g.Neighbors(v) {
+			if pos[w] > int32(i) {
+				later = append(later, w)
+			}
+		}
+		// Ascending order position: earlier-eliminated later neighbors
+		// are offered membership in v's clique first, which mirrors the
+		// elimination game's fill pattern and keeps the scan
+		// deterministic (CSR neighbor lists are sorted by id, not
+		// position).
+		slices.SortFunc(later, func(a, b int32) int { return int(pos[a] - pos[b]) })
+		clique = clique[:0]
+		for _, w := range later {
+			ok := true
+			for _, k := range clique {
+				if !kept[w][k] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			clique = append(clique, w)
+			us = append(us, v)
+			vs = append(vs, w)
+			if kept[v] == nil {
+				kept[v] = make(map[int32]bool, len(later))
+			}
+			if kept[w] == nil {
+				kept[w] = make(map[int32]bool, 4)
+			}
+			kept[v][w] = true
+			kept[w][v] = true
+		}
+	}
+	return graph.SubgraphFromEdges(n, us, vs), nil
 }
 
 // ChordalGuidedOrder extracts a maximal chordal subgraph from g and

@@ -145,6 +145,108 @@ func TestChordalGuidedOrderZeroFillOnChordal(t *testing.T) {
 	}
 }
 
+func TestFillCappedSemantics(t *testing.T) {
+	// Complete small runs match Fill exactly.
+	g := synth.GNM(100, 400, 3)
+	order := NaturalOrder(100)
+	exact, err := Fill(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, complete, err := FillCapped(g, order, exact+1)
+	if err != nil || !complete || capped != exact {
+		t.Fatalf("generous cap: got (%d, %t, %v), want (%d, true, nil)", capped, complete, err, exact)
+	}
+	// maxFill <= 0 disables the bound entirely.
+	capped, complete, err = FillCapped(g, order, 0)
+	if err != nil || !complete || capped != exact {
+		t.Fatalf("no cap: got (%d, %t, %v), want (%d, true, nil)", capped, complete, err, exact)
+	}
+	// A cap below the exact fill abandons the run and says so.
+	if exact < 2 {
+		t.Fatalf("fixture too sparse for the abandon case: exact fill %d", exact)
+	}
+	capped, complete, err = FillCapped(g, order, exact/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Fatalf("cap %d below exact fill %d reported complete", exact/2, exact)
+	}
+	if capped <= exact/2 || capped > exact {
+		t.Fatalf("abandoned run returned fill %d, want in (%d, %d]", capped, exact/2, exact)
+	}
+}
+
+func TestChordalSubgraphProperties(t *testing.T) {
+	// On any input and any ordering the result must be a chordal
+	// subgraph of the input that admits the ordering as a PEO (zero
+	// fill), deterministically.
+	for _, tc := range []struct {
+		name  string
+		g     *graph.Graph
+		order []int32
+	}{
+		{"gnm-natural", synth.GNM(300, 1500, 5), NaturalOrder(300)},
+		{"gnm-mindeg", synth.GNM(300, 1500, 5), MinDegreeOrder(synth.GNM(300, 1500, 5))},
+		{"ws-mindeg", synth.WattsStrogatz(200, 6, 0.1, 9), MinDegreeOrder(synth.WattsStrogatz(200, 6, 0.1, 9))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sub, err := ChordalSubgraph(tc.g, tc.order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !verify.IsChordal(sub) {
+				t.Fatal("result is not chordal")
+			}
+			for v := 0; v < sub.NumVertices(); v++ {
+				for _, w := range sub.Neighbors(int32(v)) {
+					if !tc.g.HasEdge(int32(v), w) {
+						t.Fatalf("edge {%d,%d} not in input", v, w)
+					}
+				}
+			}
+			fill, err := Fill(sub, tc.order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fill != 0 {
+				t.Fatalf("order is not a PEO of the result: fill %d", fill)
+			}
+			again, err := ChordalSubgraph(tc.g, tc.order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sub.NumEdges() != again.NumEdges() {
+				t.Fatalf("nondeterministic: %d then %d edges", sub.NumEdges(), again.NumEdges())
+			}
+		})
+	}
+}
+
+func TestChordalSubgraphOfChordalInputIsIdentity(t *testing.T) {
+	// A PEO of a chordal graph keeps every edge: the greedy clique test
+	// never rejects when the later neighborhood is already a clique.
+	g := synth.KTree(150, 4, 11)
+	peo := verify.MCSOrder(g)
+	sub, err := ChordalSubgraph(g, peo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != g.NumEdges() {
+		t.Fatalf("kept %d of %d edges of a chordal input under its own PEO", sub.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestChordalSubgraphRejectsBadOrders(t *testing.T) {
+	g := buildGraph(3, [][2]int32{{0, 1}})
+	for _, order := range [][]int32{{0, 1}, {0, 1, 1}, {0, 1, 5}, {0, -1, 2}} {
+		if _, err := ChordalSubgraph(g, order); err == nil {
+			t.Fatalf("order %v accepted", order)
+		}
+	}
+}
+
 func TestCompareOrders(t *testing.T) {
 	g, _ := synth.KTreePlusNoise(120, 3, 60, 9)
 	fills, err := CompareOrders(g)

@@ -1,0 +1,127 @@
+// Package quality computes the paper's comparison axes for an
+// extracted chordal subgraph: how much of the input the extraction
+// retained, and how useful the subgraph is downstream. The metrics are
+// shared by RunReport.Quality (every `chordal -json` run), the
+// benchrunner engine bake-off matrix, and the differential test grid,
+// so every engine is scored with exactly the same code.
+//
+// The three metric groups mirror the evaluation dimensions of the
+// paper: edge retention (the paper's §V chordal-edge percentages),
+// fill-in under the subgraph's perfect elimination ordering (the
+// sparse-elimination application — all fill comes from edges outside
+// the chordal subgraph, so a better extraction means less fill), and
+// the linear-time chordal-graph invariants (treewidth and chromatic
+// number of the subgraph, exact because the subgraph is chordal).
+package quality
+
+import (
+	"fmt"
+
+	"chordal/internal/chordalalg"
+	"chordal/internal/elimination"
+	"chordal/internal/graph"
+	"chordal/internal/verify"
+)
+
+// Metrics scores one extracted chordal subgraph against its input
+// graph. The zero value of a group's *Computed flag means the group
+// was skipped by the Limits, not that it measured zero.
+type Metrics struct {
+	// EdgesInput and EdgesRetained size the input and the subgraph;
+	// RetentionPct is the percentage of input edges kept (the paper's
+	// §V metric).
+	EdgesInput    int64   `json:"edgesInput"`
+	EdgesRetained int64   `json:"edgesRetained"`
+	RetentionPct  float64 `json:"retentionPct"`
+	// FillComputed reports whether the elimination metrics ran (they
+	// are skipped above Limits.MaxFillEdges). FillIn is the number of
+	// fill edges symbolic elimination creates on the INPUT graph under
+	// the subgraph's PEO — the application-level quality of the
+	// extraction (every fill edge traces to an input edge the
+	// extraction dropped). SubgraphFill is the same count on the
+	// subgraph itself under its own PEO and must be exactly 0 for any
+	// chordal subgraph; it is kept as a cross-implementation self-check
+	// rather than assumed.
+	FillComputed bool  `json:"fillComputed"`
+	FillIn       int64 `json:"fillIn"`
+	SubgraphFill int64 `json:"subgraphFill"`
+	// CliquesComputed reports whether the chordal-graph invariants ran
+	// (skipped above Limits.MaxCliqueVertices). Treewidth and
+	// ChromaticNumber are exact on the subgraph (linear-time via its
+	// PEO); MaxCliqueSize = Treewidth + 1 is recorded explicitly for
+	// readability.
+	CliquesComputed bool `json:"cliquesComputed"`
+	Treewidth       int  `json:"treewidth"`
+	ChromaticNumber int  `json:"chromaticNumber"`
+	MaxCliqueSize   int  `json:"maxCliqueSize"`
+}
+
+// Limits bounds the expensive metric groups; the cheap retention
+// ratio is always computed. The zero value computes everything.
+type Limits struct {
+	// MaxFillEdges abandons the input-fill metric once the elimination
+	// game has created this many fill edges (fill grows toward Θ(V²) on
+	// a bad ordering, and measuring it exactly costs Θ(V³) there); the
+	// metric is then reported as skipped, never as a partial count.
+	// <= 0 means no bound.
+	MaxFillEdges int64
+	// MaxCliqueVertices skips treewidth/coloring when the subgraph has
+	// more vertices. <= 0 means no bound.
+	MaxCliqueVertices int
+}
+
+// DefaultLimits bounds the fill probe to about a million fill edges —
+// comfortably past any fill a decent extraction leaves behind on
+// CI-sized inputs, while keeping always-on quality reporting bounded
+// when an ordering densifies the elimination graph.
+func DefaultLimits() Limits {
+	return Limits{MaxFillEdges: 1 << 20, MaxCliqueVertices: 1 << 20}
+}
+
+// Compute scores sub against its input graph g. sub must be chordal
+// and defined over the same vertex set; a non-chordal sub (no PEO) is
+// an error, never a bogus score.
+func Compute(g, sub *graph.Graph, lim Limits) (*Metrics, error) {
+	if g.NumVertices() != sub.NumVertices() {
+		return nil, fmt.Errorf("quality: subgraph has %d vertices, input %d", sub.NumVertices(), g.NumVertices())
+	}
+	m := &Metrics{
+		EdgesInput:    g.NumEdges(),
+		EdgesRetained: sub.NumEdges(),
+	}
+	if m.EdgesInput > 0 {
+		m.RetentionPct = 100 * float64(m.EdgesRetained) / float64(m.EdgesInput)
+	}
+	peo := verify.MCSOrder(sub)
+	if !verify.IsPEO(sub, peo) {
+		return nil, fmt.Errorf("quality: subgraph is not chordal")
+	}
+	// The subgraph is chordal under peo, so its own fill game is linear
+	// and needs no cap; the input-fill probe is where a bad ordering
+	// can densify, so it carries the bound.
+	subFill, _, err := elimination.FillCapped(sub, peo, lim.MaxFillEdges)
+	if err != nil {
+		return nil, err
+	}
+	fillIn, complete, err := elimination.FillCapped(g, peo, lim.MaxFillEdges)
+	if err != nil {
+		return nil, err
+	}
+	if complete {
+		m.SubgraphFill = subFill
+		m.FillIn = fillIn
+		m.FillComputed = true
+	}
+	if lim.MaxCliqueVertices <= 0 || sub.NumVertices() <= lim.MaxCliqueVertices {
+		var err error
+		if m.Treewidth, err = chordalalg.Treewidth(sub); err != nil {
+			return nil, err
+		}
+		if m.ChromaticNumber, err = chordalalg.ChromaticNumber(sub); err != nil {
+			return nil, err
+		}
+		m.MaxCliqueSize = m.Treewidth + 1
+		m.CliquesComputed = true
+	}
+	return m, nil
+}

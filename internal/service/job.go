@@ -75,6 +75,10 @@ type Metrics struct {
 	// RepairedEdges and StitchedEdges count post-pass additions.
 	RepairedEdges int `json:"repairedEdges"`
 	StitchedEdges int `json:"stitchedEdges"`
+	// Quality scores the extracted subgraph against the input (edge
+	// retention, fill-in, treewidth, chromatic number); nil when no
+	// subgraph was extracted or the metrics were skipped.
+	Quality *chordal.Quality `json:"quality,omitempty"`
 	// Stages holds per-stage wall-clock timings; TotalMillis is their
 	// sum.
 	Stages      []StageMillis `json:"stages"`
@@ -329,6 +333,7 @@ func buildMetrics(res *chordal.PipelineResult, workers int, extra []StageMillis)
 		m.MaximalityAudited = res.MaximalityAudited
 		m.ReAddableEdges = res.ReAddableEdges
 	}
+	m.Quality = res.Quality
 	for _, st := range res.Timings {
 		m.Stages = append(m.Stages, StageMillis{st.Stage, float64(st.Duration.Microseconds()) / 1000})
 	}

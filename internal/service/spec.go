@@ -66,6 +66,12 @@ type JobOptions struct {
 	// stitch. Ignored (and canonicalized away) unless the sharded
 	// engine runs.
 	ShardStitchOnly bool `json:"shardStitchOnly,omitempty"`
+	// Start is the dearing engine's start vertex; setting it non-zero
+	// with any other engine is rejected.
+	Start int `json:"start,omitempty"`
+	// Order is the elimination engine's ordering, natural|mindeg
+	// (default mindeg); setting it with any other engine is rejected.
+	Order string `json:"order,omitempty"`
 	// Verify runs the chordality check (and maximality audit on small
 	// inputs) on the result; omitted means true.
 	Verify *bool `json:"verify,omitempty"`
@@ -89,6 +95,8 @@ func (o JobOptions) Spec(source string) (chordal.Spec, error) {
 			Partitions:      o.Partitions,
 			Shards:          o.Shards,
 			ShardStitchOnly: o.ShardStitchOnly,
+			Start:           o.Start,
+			Order:           o.Order,
 		},
 		Verify: o.Verify == nil || *o.Verify,
 	}.Normalize()

@@ -186,6 +186,19 @@ type ShardSummary struct {
 	Chordal bool `json:"chordal"`
 }
 
+// DearingSummary reports the dearing engine run.
+type DearingSummary struct {
+	// Start is the start vertex the incremental extraction grew from.
+	Start int `json:"start"`
+}
+
+// EliminationSummary reports the elimination engine run.
+type EliminationSummary struct {
+	// Order is the elimination ordering used (OrderNatural or
+	// OrderMinDegree).
+	Order string `json:"order"`
+}
+
 // StageTiming is the wall-clock duration of one pipeline stage.
 type StageTiming struct {
 	// Stage is the stage name; Duration its wall-clock time.
@@ -211,6 +224,10 @@ type PipelineResult struct {
 	Partition *PartitionSummary
 	// Shard summarizes the sharded extraction, when used.
 	Shard *ShardSummary
+	// Dearing summarizes the dearing engine run, when used.
+	Dearing *DearingSummary
+	// Elimination summarizes the elimination engine run, when used.
+	Elimination *EliminationSummary
 	// Tuning is the resolved kernel tuning of the extract stage; nil
 	// when no extraction ran or the engine has no tunable kernels.
 	Tuning *Tuning
@@ -223,6 +240,12 @@ type PipelineResult struct {
 	// of audit violations found (0 means maximal as far as audited).
 	MaximalityAudited bool
 	ReAddableEdges    int
+	// Quality scores the extracted subgraph against the input (edge
+	// retention, fill-in under the subgraph's PEO, treewidth and
+	// chromatic number); nil when no subgraph was extracted, the
+	// subgraph failed verification, or the input exceeded the default
+	// quality bounds.
+	Quality *Quality
 	// Timings records per-stage wall-clock durations in stage order.
 	Timings []StageTiming
 }

@@ -40,6 +40,9 @@ type ReportExtraction struct {
 	// Partition and Shard carry the baselines' summaries, when used.
 	Partition *PartitionSummary `json:"partition,omitempty"`
 	Shard     *ShardSummary     `json:"shard,omitempty"`
+	// Dearing and Elimination carry those engines' summaries, when used.
+	Dearing     *DearingSummary     `json:"dearing,omitempty"`
+	Elimination *EliminationSummary `json:"elimination,omitempty"`
 }
 
 // ReportVerify is the verify stage's outcome in a RunReport.
@@ -76,6 +79,11 @@ type RunReport struct {
 	Tuning *Tuning `json:"tuning,omitempty"`
 	// Verify carries the verify outcome; nil when verification was off.
 	Verify *ReportVerify `json:"verify,omitempty"`
+	// Quality scores the extracted subgraph against the input (edge
+	// retention, fill-in under the subgraph's PEO, treewidth and
+	// chromatic number); nil when no subgraph was extracted or the
+	// metrics were skipped (non-chordal subgraph or oversize input).
+	Quality *Quality `json:"quality,omitempty"`
 	// Timings holds per-stage wall-clock durations in stage order;
 	// TotalMillis is their sum.
 	Timings     []ReportTiming `json:"timings"`
@@ -196,8 +204,11 @@ func Report(s Spec, res *PipelineResult) (RunReport, error) {
 			ex.RepairedEdges = sh.RepairedEdges
 			ex.StitchedEdges = sh.StitchedEdges
 		}
+		ex.Dearing = res.Dearing
+		ex.Elimination = res.Elimination
 		rep.Extraction = ex
 	}
+	rep.Quality = res.Quality
 	if res.Tuning != nil {
 		t := *res.Tuning
 		rep.Tuning = &t

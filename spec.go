@@ -8,6 +8,7 @@ import (
 
 	"chordal/internal/analysis"
 	"chordal/internal/graph"
+	"chordal/internal/quality"
 	"chordal/internal/verify"
 )
 
@@ -62,6 +63,17 @@ type EngineConfig struct {
 	// reconciliation to the spanning stitch (bridges only). Normalize
 	// clears it on every other engine so it cannot split identities.
 	ShardStitchOnly bool `json:"shardStitchOnly,omitempty"`
+	// Start is the dearing engine's selection-start vertex (the serial
+	// growth seeds there; different starts grow different — equally
+	// maximal — subgraphs). Setting it non-zero with any other engine
+	// is a validation error. It changes the edge set, so it is part of
+	// the canonical identity of dearing specs.
+	Start int `json:"start,omitempty"`
+	// Order is the elimination engine's ordering: natural|mindeg
+	// (default mindeg, the fill-reducing heuristic). Setting it with
+	// any other engine is a validation error. It changes the edge set,
+	// so it is part of the canonical identity of elimination specs.
+	Order string `json:"order,omitempty"`
 
 	// Observer receives the run's event stream. Runtime-only: excluded
 	// from JSON and from Canonical.
@@ -221,6 +233,27 @@ func (s Spec) Normalize() (Spec, error) {
 		// toggle cannot split cache identities.
 		n.ShardStitchOnly = false
 	}
+	// Start and Order change the extracted edge set, so — unlike the
+	// stitch toggle above — a stray value is a conflict error, never
+	// silently dropped.
+	if n.Start < 0 {
+		return n, fmt.Errorf("chordal: spec: start %d must be >= 0", n.Start)
+	}
+	if n.Start != 0 && n.Engine != EngineDearing {
+		return n, fmt.Errorf("chordal: spec: start=%d requires the dearing engine (engine %q selected)", n.Start, n.Engine)
+	}
+	n.Order = strings.ToLower(strings.TrimSpace(n.Order))
+	if n.Engine == EngineElimination {
+		switch n.Order {
+		case "":
+			n.Order = OrderMinDegree
+		case OrderNatural, OrderMinDegree:
+		default:
+			return n, fmt.Errorf("chordal: spec: unknown order %q (want %s|%s)", n.Order, OrderNatural, OrderMinDegree)
+		}
+	} else if n.Order != "" {
+		return n, fmt.Errorf("chordal: spec: order=%q requires the elimination engine (engine %q selected)", n.Order, n.Engine)
+	}
 	if n.Verify && n.Engine == EngineNone {
 		return n, fmt.Errorf("chordal: spec: verify requires an extraction engine")
 	}
@@ -248,9 +281,20 @@ func (s Spec) Canonical() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("v%d engine=%s relabel=%s variant=%s schedule=%s repair=%t stitch=%t partitions=%d shards=%d stitchonly=%t verify=%t src=%s",
+	key := fmt.Sprintf("v%d engine=%s relabel=%s variant=%s schedule=%s repair=%t stitch=%t partitions=%d shards=%d stitchonly=%t verify=%t",
 		n.V, n.Engine, n.Relabel, n.Variant, n.Schedule, n.Repair, n.Stitch,
-		n.Partitions, n.Shards, n.ShardStitchOnly, n.Verify, n.Source), nil
+		n.Partitions, n.Shards, n.ShardStitchOnly, n.Verify)
+	// Engine-specific identity fields appear only for the engine they
+	// parameterize, so keys of every pre-existing engine — and every
+	// persisted cache entry — are byte-identical to earlier releases.
+	// src stays last: file-path sources may contain spaces.
+	switch n.Engine {
+	case EngineDearing:
+		key += fmt.Sprintf(" start=%d", n.Start)
+	case EngineElimination:
+		key += " order=" + n.Order
+	}
+	return key + " src=" + n.Source, nil
 }
 
 // Deterministic reports whether two runs of this spec are guaranteed
@@ -386,6 +430,8 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		res.SerialDuration = er.SerialDuration
 		res.Partition = er.Partition
 		res.Shard = er.Shard
+		res.Dearing = er.Dearing
+		res.Elimination = er.Elimination
 		res.Tuning = er.Tuning
 		mark("extract", start)
 	}
@@ -413,6 +459,17 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		}
 		emit(newVerifyEvent(res.ChordalOK, res.MaximalityAudited, res.ReAddableEdges))
 		mark("verify", start)
+	}
+
+	// Quality metrics are reporting, not identity: they never change
+	// the subgraph, so they ride outside the spec (and its canonical
+	// key) and are skipped silently when the subgraph is not chordal
+	// (the verify stage is the loud path for that) or the input exceeds
+	// the default bounds.
+	if res.Subgraph != nil && (!res.Verified || res.ChordalOK) {
+		if q, err := quality.Compute(g, res.Subgraph, quality.DefaultLimits()); err == nil {
+			res.Quality = q
+		}
 	}
 
 	if s.Output != "" {

@@ -36,6 +36,13 @@ func FuzzSpecCanonical(f *testing.F) {
 		`{"source":"gnm:10:20","partitions":2,"shards":4}`,
 		`{"source":"ws:300:6:0.1:9","relabel":"degree","engine":"none"}`,
 		`{"source":"rmat-er","workers":-3,"shards":-1}`,
+		`{"source":"gnm:100:300","engine":"dearing","start":5,"verify":true}`,
+		`{"source":"gnm:100:300","engine":"elimination","order":"natural"}`,
+		`{"source":"ktree:200:4:13","engine":"elimination","order":" MinDeg "}`,
+		`{"source":"gnm:100:300","engine":"parallel","order":"mindeg"}`,
+		`{"source":"gnm:100:300","engine":"serial","start":3}`,
+		`{"source":"gnm:100:300","engine":"elimination","order":"amd"}`,
+		`{"source":"gnm:100:300","engine":"dearing","start":-2}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -84,6 +84,26 @@ func TestSpecCanonicalGolden(t *testing.T) {
 			want: "v1 engine=parallel relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=false src=gnm:100:300:42",
 		},
 		{
+			name: "dearing engine default start",
+			spec: chordal.Spec{Source: "gnm:1000:5000", Engine: "dearing", Verify: true},
+			want: "v1 engine=dearing relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=true start=0 src=gnm:1000:5000:42",
+		},
+		{
+			name: "dearing engine explicit start",
+			spec: chordal.Spec{Source: "gnm:1000:5000", Engine: "dearing", EngineConfig: chordal.EngineConfig{Start: 5}},
+			want: "v1 engine=dearing relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=false start=5 src=gnm:1000:5000:42",
+		},
+		{
+			name: "elimination engine defaults to mindeg",
+			spec: chordal.Spec{Source: "gnm:1000:5000", Engine: "elimination", Verify: true},
+			want: "v1 engine=elimination relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=true order=mindeg src=gnm:1000:5000:42",
+		},
+		{
+			name: "elimination engine natural order",
+			spec: chordal.Spec{Source: "gnm:1000:5000", Engine: "elimination", EngineConfig: chordal.EngineConfig{Order: " Natural "}},
+			want: "v1 engine=elimination relabel=none variant=auto schedule=dataflow repair=false stitch=false partitions=0 shards=0 stitchonly=false verify=false order=natural src=gnm:1000:5000:42",
+		},
+		{
 			name: "upload digest",
 			spec: chordal.Spec{
 				Source: chordal.UploadSource("edges", sha256.Sum256([]byte("0 1\n1 2\n"))),
@@ -105,7 +125,7 @@ func TestSpecCanonicalGolden(t *testing.T) {
 // service API, and replayed without identity drift.
 func TestSpecJSONRoundTrip(t *testing.T) {
 	var grid []chordal.Spec
-	for _, engine := range []string{"", "parallel", "serial", "partitioned", "sharded", "none"} {
+	for _, engine := range []string{"", "parallel", "serial", "partitioned", "sharded", "dearing", "elimination", "none"} {
 		for _, relabel := range []string{"", "bfs", "degree"} {
 			for _, verifyOn := range []bool{false, true} {
 				s := chordal.Spec{
@@ -125,6 +145,12 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 				if engine == "sharded" {
 					s.Shards = 4
 					s.ShardStitchOnly = true
+				}
+				if engine == "dearing" {
+					s.Start = 7
+				}
+				if engine == "elimination" {
+					s.Order = "natural"
 				}
 				if engine == "none" && verifyOn {
 					continue // invalid by construction: verify needs an engine
@@ -183,6 +209,11 @@ func TestSpecValidationErrors(t *testing.T) {
 		{"bad relabel", chordal.Spec{Source: "gnm:10:20", Relabel: "shuffle"}, "unknown relabel"},
 		{"bad version", chordal.Spec{V: 2, Source: "gnm:10:20"}, "version"},
 		{"verify without engine", chordal.Spec{Source: "gnm:10:20", Engine: "none", Verify: true}, "verify requires"},
+		{"negative start", chordal.Spec{Source: "gnm:10:20", Engine: "dearing", EngineConfig: chordal.EngineConfig{Start: -1}}, "must be >= 0"},
+		{"start off the dearing engine", chordal.Spec{Source: "gnm:10:20", EngineConfig: chordal.EngineConfig{Start: 3}}, "requires the dearing engine"},
+		{"start on the serial engine", chordal.Spec{Source: "gnm:10:20", Engine: "serial", EngineConfig: chordal.EngineConfig{Start: 3}}, "requires the dearing engine"},
+		{"unknown order", chordal.Spec{Source: "gnm:10:20", Engine: "elimination", EngineConfig: chordal.EngineConfig{Order: "amd"}}, "unknown order"},
+		{"order off the elimination engine", chordal.Spec{Source: "gnm:10:20", EngineConfig: chordal.EngineConfig{Order: "mindeg"}}, "requires the elimination engine"},
 		{"bad source", chordal.Spec{Source: "rmat-er"}, "missing scale"},
 	}
 	for _, c := range cases {
@@ -212,7 +243,7 @@ var registerNoop sync.Once
 // through Spec by name alone.
 func TestEngineRegistry(t *testing.T) {
 	names := chordal.EngineNames()
-	for _, want := range []string{"parallel", "serial", "partitioned", "sharded"} {
+	for _, want := range []string{"parallel", "serial", "partitioned", "sharded", "dearing", "elimination"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -277,18 +308,27 @@ func TestSpecEngineConformanceGrid(t *testing.T) {
 	engines := []struct {
 		name string
 		cfg  chordal.EngineConfig
+		// maximal marks engines that guarantee a maximal chordal
+		// subgraph (serial growth admits every admissible edge; the
+		// parallel family has the DESIGN.md §5 gap and elimination is
+		// chordal-only).
+		maximal bool
 	}{
-		{chordal.EngineParallel, chordal.EngineConfig{}},
-		{chordal.EngineSerial, chordal.EngineConfig{}},
-		{chordal.EnginePartitioned, chordal.EngineConfig{Partitions: 4}},
-		{chordal.EngineSharded, chordal.EngineConfig{Shards: 3}},
+		{chordal.EngineParallel, chordal.EngineConfig{}, false},
+		{chordal.EngineSerial, chordal.EngineConfig{}, true},
+		{chordal.EnginePartitioned, chordal.EngineConfig{Partitions: 4}, false},
+		{chordal.EngineSharded, chordal.EngineConfig{Shards: 3}, false},
+		{chordal.EngineDearing, chordal.EngineConfig{Start: 3}, true},
+		{chordal.EngineElimination, chordal.EngineConfig{Order: chordal.OrderMinDegree}, false},
+		{chordal.EngineElimination + "-natural", chordal.EngineConfig{Order: chordal.OrderNatural}, false},
 	}
 	for _, src := range sources {
 		for _, eng := range engines {
 			src, eng := src, eng
 			t.Run(eng.name+"/"+src, func(t *testing.T) {
 				t.Parallel()
-				spec := chordal.Spec{Source: src, Engine: eng.name, EngineConfig: eng.cfg, Verify: true}
+				name := strings.TrimSuffix(eng.name, "-natural")
+				spec := chordal.Spec{Source: src, Engine: name, EngineConfig: eng.cfg, Verify: true}
 
 				// Same spec at two worker widths: the subgraph bytes and
 				// the canonical identity must not move.
@@ -311,6 +351,13 @@ func TestSpecEngineConformanceGrid(t *testing.T) {
 					}
 					if r.Subgraph.NumEdges() == 0 {
 						t.Fatal("empty extraction")
+					}
+					if !isSubgraphOf(r.Subgraph, r.Input) {
+						t.Fatal("extraction emitted an edge absent from the input")
+					}
+					if eng.maximal && (!r.MaximalityAudited || r.ReAddableEdges != 0) {
+						t.Fatalf("engine %s guarantees maximality but audit found %d re-addable edges (audited=%t)",
+							eng.name, r.ReAddableEdges, r.MaximalityAudited)
 					}
 				}
 				if !reflect.DeepEqual(r1.Subgraph.Offsets, r3.Subgraph.Offsets) ||
@@ -342,6 +389,19 @@ func TestSpecEngineConformanceGrid(t *testing.T) {
 			})
 		}
 	}
+}
+
+// isSubgraphOf reports whether every edge of sub is an edge of g (the
+// graphs share a vertex set).
+func isSubgraphOf(sub, g *chordal.Graph) bool {
+	for v := 0; v < sub.NumVertices(); v++ {
+		for _, w := range sub.Neighbors(int32(v)) {
+			if !g.HasEdge(int32(v), w) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // TestSpecRunMatchesPipeline pins the adapter: the deprecated Pipeline
