@@ -2,6 +2,7 @@ package chordal_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"os/exec"
@@ -115,6 +116,133 @@ func TestCLIModeConflicts(t *testing.T) {
 		}
 		if !strings.Contains(string(out), "conflict") && !strings.Contains(string(out), "unknown engine") {
 			t.Errorf("chordal %v error does not name the conflict:\n%s", flags, out)
+		}
+	}
+}
+
+// TestCLIStreamMode pipes an NDJSON delta feed into chordal -stream and
+// checks the full contract: one admission event per decision on stdout,
+// a trailing StreamReport under -json with a passing chordal verify, a
+// canonical key equal to the library's stream spec, and an -out subgraph
+// byte-identical to the library session driven with the same deltas.
+func TestCLIStreamMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	subPath := filepath.Join(dir, "stream-sub.bin")
+
+	// C4 plus a chord, mixing both delta line forms with noise lines.
+	feed := "# C4 first\n0 1\n1 2\n2 3\n{\"u\":3,\"v\":0}\n\n0 2\n"
+	cmd := exec.Command(goTool, "run", "./cmd/chordal",
+		"-stream", "-repair", "-verify", "-json", "-out", subPath)
+	cmd.Dir = repoRoot
+	cmd.Stdin = strings.NewReader(feed)
+	raw, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("chordal -stream: %v\n%s", err, raw)
+	}
+
+	// Stdout is a sequence of JSON values: NDJSON events, then the report.
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	events := map[string]int{}
+	var last json.RawMessage
+	for dec.More() {
+		var v json.RawMessage
+		if err := dec.Decode(&v); err != nil {
+			t.Fatalf("stdout is not a JSON value stream: %v\n%s", err, raw)
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if json.Unmarshal(v, &probe) == nil && probe.Type != "" {
+			events[probe.Type]++
+		}
+		last = v
+	}
+	// Four pushes admit, 3-0 defers (it closes the C4 before the chord
+	// arrives), and the close-time repair pass re-admits it with its own
+	// admit event: 5 admits + 1 defer.
+	if events["admit"] != 5 || events["defer"] != 1 {
+		t.Fatalf("events %v: want 5 admits and 1 defer", events)
+	}
+	if events["repair"] == 0 {
+		t.Fatalf("events %v: want at least one repair pass event", events)
+	}
+	var rep chordal.StreamReport
+	if err := json.Unmarshal(last, &rep); err != nil {
+		t.Fatalf("trailing value is not a StreamReport: %v\n%s", err, last)
+	}
+	wantCanon, err := chordal.Spec{
+		Mode:         chordal.ModeStream,
+		EngineConfig: chordal.EngineConfig{Repair: true},
+		Verify:       true,
+	}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Canonical != wantCanon {
+		t.Errorf("CLI canonical\n %s\nlibrary canonical\n %s", rep.Canonical, wantCanon)
+	}
+	if rep.Verify == nil || !rep.Verify.Chordal {
+		t.Fatalf("report verify %+v, want chordal", rep.Verify)
+	}
+	if rep.Stream.Pushed != 5 || rep.Input.Edges != 5 {
+		t.Fatalf("report stream %+v input %+v, want 5 pushed / 5 input edges", rep.Stream, rep.Input)
+	}
+
+	// The written subgraph matches a library session fed the same deltas.
+	lib, err := chordal.OpenStream(context.Background(),
+		chordal.Spec{Mode: chordal.ModeStream, EngineConfig: chordal.EngineConfig{Repair: true}, Verify: true},
+		chordal.StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}} {
+		if _, err := lib.Push(context.Background(), e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	libRes, err := lib.Close(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	libPath := filepath.Join(dir, "lib-sub.bin")
+	if err := chordal.SaveGraph(libPath, libRes.Subgraph); err != nil {
+		t.Fatal(err)
+	}
+	cliBytes, err := os.ReadFile(subPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libBytes, err := os.ReadFile(libPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cliBytes, libBytes) {
+		t.Errorf("CLI stream subgraph (%d bytes) differs from library session (%d bytes)",
+			len(cliBytes), len(libBytes))
+	}
+
+	// -stream conflicts with -in and -batch.
+	for _, extra := range [][]string{{"-in", "gnm:100:300:1"}, {"-batch", "x.txt"}} {
+		args := append([]string{"run", "./cmd/chordal", "-stream"}, extra...)
+		cmd := exec.Command(goTool, args...)
+		cmd.Dir = repoRoot
+		cmd.Stdin = strings.NewReader("")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("chordal -stream %v exited 0; want a conflict error\n%s", extra, out)
+		} else if !strings.Contains(string(out), "conflicts") {
+			t.Errorf("chordal -stream %v error does not name the conflict:\n%s", extra, out)
 		}
 	}
 }

@@ -15,6 +15,9 @@
 //	                                            # workers sweep -> BENCH_kernels.json
 //	benchrunner -engine-suite                   # every engine x generator zoo
 //	                                            # bake-off -> BENCH_engines.json
+//	benchrunner -stream-suite                   # streaming-session throughput and
+//	                                            # repair-cadence amortization
+//	                                            # -> BENCH_stream.json
 //
 // The paper's absolute scales (2^24-2^26 vertices on a 128-processor
 // Cray XMT) exceed commodity environments; pick -scales to fit your
@@ -51,6 +54,8 @@ func main() {
 		kernelOut = flag.String("kernel-out", "BENCH_kernels.json", "output path for the -kernel-suite report")
 		engineRun = flag.Bool("engine-suite", false, "run every registered engine over the generator zoo with verification and quality metrics (the bake-off matrix), and write the JSON report")
 		engineOut = flag.String("engine-out", "BENCH_engines.json", "output path for the -engine-suite report")
+		streamRun = flag.Bool("stream-suite", false, "measure streaming-session admission throughput and repair-cadence amortization over the generator zoo, and write the JSON report")
+		streamOut = flag.String("stream-out", "BENCH_stream.json", "output path for the -stream-suite report")
 	)
 	flag.IntVar(&cfg.BioDownscale, "bio-downscale", cfg.BioDownscale, "bio network gene-count divisor (1 = paper size)")
 	flag.IntVar(&cfg.MaxProcs, "maxprocs", cfg.MaxProcs, "max workers in scaling sweeps (0 = GOMAXPROCS)")
@@ -82,6 +87,13 @@ func main() {
 	}
 	if *engineRun {
 		if err := engineBench(*engineOut, cfg.Trials); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamRun {
+		if err := streamBench(*streamOut, cfg.Trials); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -626,6 +638,159 @@ func engineBench(out string, trials int) error {
 	fmt.Printf("\nwrote %s\n", out)
 	if !rep.AllVerified {
 		return fmt.Errorf("engine suite: some rows failed verification")
+	}
+	return nil
+}
+
+// streamRow is one cell of the stream suite: a (source, repair cadence)
+// pair with its fastest session timings and the final session stats.
+type streamRow struct {
+	Source string `json:"source"`
+	// RepairEvery is the session's automatic repair cadence; 0 repairs
+	// only at Close (the spec has Repair on in every row).
+	RepairEvery int   `json:"repairEvery"`
+	Edges       int64 `json:"edges"`
+	// PushMillis covers the admission loop (every delta through the
+	// maintainer), CloseMillis the canonical extraction + verify at
+	// EOF; AdmissionsPerSec is Edges over the push time.
+	PushMillis       float64 `json:"pushMillis"`
+	CloseMillis      float64 `json:"closeMillis"`
+	AdmissionsPerSec float64 `json:"admissionsPerSec"`
+	// The final stats of the fastest trial: how much of the input the
+	// online pass admitted directly, how much arrived via repair
+	// passes, and how many passes the cadence cost.
+	Admitted int64 `json:"admitted"`
+	Repaired int64 `json:"repaired"`
+	Repairs  int64 `json:"repairs"`
+	Deferred int64 `json:"deferred"`
+	// Verified is the Close-time chordality check on the canonical
+	// subgraph — the suite's correctness gate.
+	Verified     bool  `json:"verified"`
+	ChordalEdges int64 `json:"chordalEdges"`
+}
+
+// streamReport is the JSON record of one -stream-suite run.
+type streamReport struct {
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Trials     int `json:"trials"`
+	// OverlapValid marks whether timings reflect real parallel close
+	// extractions: false on a single-CPU machine, where the Close-time
+	// engine cannot overlap workers and cadence comparisons measure
+	// only the admission loop honestly.
+	OverlapValid bool        `json:"overlapValid"`
+	AllVerified  bool        `json:"allVerified"`
+	Cadences     []int       `json:"cadences"`
+	Sources      []string    `json:"sources"`
+	Rows         []streamRow `json:"rows"`
+	Timestamp    string      `json:"timestamp"`
+}
+
+// streamSources is the stream-suite zoo: the engine bake-off sources,
+// whose sizes keep the full cadence matrix in CI smoke time.
+var streamSources = engineSources
+
+// streamCadences is the repair-cadence axis: repair only at Close
+// (maximum deferral, one big pass), every 64 deltas (amortized), and
+// every 512 (coarse).
+var streamCadences = []int{0, 64, 512}
+
+// streamBench drives a full streaming session per (source, cadence)
+// cell — open, push every edge, close for the canonical extraction —
+// and records admission throughput plus how the repair cadence shifts
+// work between the online pass and Close. Writes the JSON report to
+// out and exits non-zero if any close fails verification.
+func streamBench(out string, trials int) error {
+	if trials < 1 {
+		trials = 1
+	}
+	rep := streamReport{
+		CPUs:         runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Trials:       trials,
+		OverlapValid: runtime.NumCPU() > 1,
+		AllVerified:  true,
+		Cadences:     streamCadences,
+		Sources:      streamSources,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	ctx := context.Background()
+	fmt.Printf("stream suite: %d sources x %d cadences on %d CPUs, best of %d trials\n",
+		len(streamSources), len(streamCadences), rep.CPUs, trials)
+	for _, source := range streamSources {
+		acq, err := chordal.Spec{Source: source, Engine: chordal.EngineNone}.Run()
+		if err != nil {
+			return err
+		}
+		g := acq.Input
+		us, vs := g.EdgeList()
+		fmt.Printf("\n%s: %s\n", source, acq.InputStats)
+		for _, cadence := range streamCadences {
+			row := streamRow{Source: source, RepairEvery: cadence, Edges: g.NumEdges()}
+			for t := 0; t < trials; t++ {
+				spec := chordal.Spec{
+					Mode:         chordal.ModeStream,
+					EngineConfig: chordal.EngineConfig{Repair: true},
+					Verify:       true,
+				}
+				s, err := chordal.OpenStream(ctx, spec, chordal.StreamConfig{
+					Vertices:    g.NumVertices(),
+					RepairEvery: cadence,
+				})
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				for i := range us {
+					if _, err := s.Push(ctx, us[i], vs[i]); err != nil {
+						return err
+					}
+				}
+				pushMs := float64(time.Since(t0).Microseconds()) / 1000
+				t0 = time.Now()
+				res, err := s.Close(ctx)
+				if err != nil {
+					return err
+				}
+				closeMs := float64(time.Since(t0).Microseconds()) / 1000
+				if row.PushMillis == 0 || pushMs+closeMs < row.PushMillis+row.CloseMillis {
+					st := res.Report.Stream
+					row.PushMillis = pushMs
+					row.CloseMillis = closeMs
+					row.Admitted = st.Admitted
+					row.Repaired = st.Repaired
+					row.Repairs = st.Repairs
+					row.Deferred = st.Deferred
+					row.Verified = res.Report.Verify != nil && res.Report.Verify.Chordal
+					row.ChordalEdges = res.Subgraph.NumEdges()
+				}
+			}
+			if row.PushMillis > 0 {
+				row.AdmissionsPerSec = float64(row.Edges) / (row.PushMillis / 1000)
+			}
+			if !row.Verified {
+				rep.AllVerified = false
+			}
+			rep.Rows = append(rep.Rows, row)
+			status := "chordal"
+			if !row.Verified {
+				status = "NOT CHORDAL"
+			}
+			fmt.Printf("  repairEvery=%-4d push %9.3f ms (%11.0f adm/s)  close %9.3f ms  admitted %7d  repaired %6d in %4d passes  %s\n",
+				cadence, row.PushMillis, row.AdmissionsPerSec, row.CloseMillis,
+				row.Admitted, row.Repaired, row.Repairs, status)
+		}
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	if !rep.AllVerified {
+		return fmt.Errorf("stream suite: some sessions failed verification")
 	}
 	return nil
 }

@@ -14,10 +14,21 @@
 //	chordal -in rmat-er:12 -json                # machine-readable report
 //	chordal -batch suite.txt -verify -json      # every source in a manifest
 //	chordal -batch 'graphs/*.bin' -verify       # every file matching a glob
+//	chordal -stream -repair -json < deltas.txt  # streaming session on stdin
 //
 // Exactly one engine may be selected: combining -serial, -partition,
 // -shards, or a conflicting -engine name exits non-zero with a clear
 // error instead of silently picking one.
+//
+// Stream mode (-stream) reads edge deltas from stdin — one per line,
+// either "u v" or {"u":..,"v":..} (blank lines and # comments skipped) —
+// and prints one NDJSON admission event per decision on stdout
+// (admit/defer, plus repair-pass summaries). At EOF the session closes:
+// the canonical batch engine runs over every distinct delta, so the
+// final subgraph is independent of arrival order and identical to a
+// batch run on the same edges. -json appends the chordal.StreamReport;
+// -out writes the canonical subgraph; the human summary goes to stderr
+// so stdout stays pure NDJSON.
 //
 // Batch mode runs every input listed in a manifest file (one source per
 // line, # comments) or matching a glob pattern through one shared
@@ -41,29 +52,32 @@ import (
 
 func main() {
 	var (
-		in         = flag.String("in", "", "input graph path or generator spec (required)")
-		out        = flag.String("out", "", "optional output path for the chordal subgraph")
-		engineSel  = flag.String("engine", "", "extraction engine: "+strings.Join(chordal.EngineNames(), "|")+" (default parallel; -serial/-partition/-shards imply one)")
-		variant    = flag.String("variant", "auto", "auto|opt|unopt")
-		schedule   = flag.String("schedule", "dataflow", "dataflow|async|sync")
-		workers    = flag.Int("workers", 0, "worker goroutines (0 = pick by machine model, capped at all CPUs)")
-		grain      = flag.Int("grain", 0, "extraction loop chunk size (0 = startup calibration)")
-		degreeThr  = flag.Int("degree-threshold", 0, "chordal-set size switching the subset test to the bitset probe (0 = startup calibration, negative = merge scan only)")
-		serial     = flag.Bool("serial", false, "use the serial Dearing et al. baseline engine")
-		parts      = flag.Int("partition", 0, "use the distributed-style partitioned engine with this many partitions (plus cycle cleanup)")
-		shards     = flag.Int("shards", 0, "use the sharded engine with this many vertex-range shards (border edges reconciled chordality-preserving)")
-		stitchOnly = flag.Bool("shard-stitch-only", false, "with -shards: reconcile border edges by spanning stitch only")
-		startV     = flag.Int("start", 0, "with -engine dearing: start vertex the incremental extraction grows from")
-		order      = flag.String("order", "", "with -engine elimination: elimination ordering, natural|mindeg (default mindeg)")
-		repair     = flag.Bool("repair", false, "run the maximality repair post-pass")
-		stitch     = flag.Bool("stitch", false, "stitch disconnected chordal components")
-		bfs        = flag.Bool("bfs-relabel", false, "renumber vertices in BFS order before extraction")
-		doVerify   = flag.Bool("verify", false, "verify chordality (and audit maximality on small graphs)")
-		iters      = flag.Bool("iters", false, "print per-iteration queue statistics")
-		timings    = flag.Bool("timings", false, "print per-stage pipeline timings")
-		jsonOut    = flag.Bool("json", false, "emit the full run report as one JSON object on stdout (for benchrunner and CI)")
-		batch      = flag.String("batch", "", "run every source in a manifest file (one per line, # comments) or matching a glob, over one shared worker pool")
-		batchPar   = flag.Int("batch-par", 0, "with -batch: max items running simultaneously (0 = one per worker token)")
+		in          = flag.String("in", "", "input graph path or generator spec (required)")
+		out         = flag.String("out", "", "optional output path for the chordal subgraph")
+		engineSel   = flag.String("engine", "", "extraction engine: "+strings.Join(chordal.EngineNames(), "|")+" (default parallel; -serial/-partition/-shards imply one)")
+		variant     = flag.String("variant", "auto", "auto|opt|unopt")
+		schedule    = flag.String("schedule", "dataflow", "dataflow|async|sync")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = pick by machine model, capped at all CPUs)")
+		grain       = flag.Int("grain", 0, "extraction loop chunk size (0 = startup calibration)")
+		degreeThr   = flag.Int("degree-threshold", 0, "chordal-set size switching the subset test to the bitset probe (0 = startup calibration, negative = merge scan only)")
+		serial      = flag.Bool("serial", false, "use the serial Dearing et al. baseline engine")
+		parts       = flag.Int("partition", 0, "use the distributed-style partitioned engine with this many partitions (plus cycle cleanup)")
+		shards      = flag.Int("shards", 0, "use the sharded engine with this many vertex-range shards (border edges reconciled chordality-preserving)")
+		stitchOnly  = flag.Bool("shard-stitch-only", false, "with -shards: reconcile border edges by spanning stitch only")
+		startV      = flag.Int("start", 0, "with -engine dearing: start vertex the incremental extraction grows from")
+		order       = flag.String("order", "", "with -engine elimination: elimination ordering, natural|mindeg (default mindeg)")
+		repair      = flag.Bool("repair", false, "run the maximality repair post-pass")
+		stitch      = flag.Bool("stitch", false, "stitch disconnected chordal components")
+		bfs         = flag.Bool("bfs-relabel", false, "renumber vertices in BFS order before extraction")
+		doVerify    = flag.Bool("verify", false, "verify chordality (and audit maximality on small graphs)")
+		iters       = flag.Bool("iters", false, "print per-iteration queue statistics")
+		timings     = flag.Bool("timings", false, "print per-stage pipeline timings")
+		jsonOut     = flag.Bool("json", false, "emit the full run report as one JSON object on stdout (for benchrunner and CI)")
+		batch       = flag.String("batch", "", "run every source in a manifest file (one per line, # comments) or matching a glob, over one shared worker pool")
+		batchPar    = flag.Int("batch-par", 0, "with -batch: max items running simultaneously (0 = one per worker token)")
+		stream      = flag.Bool("stream", false, "streaming session: read edge deltas from stdin, print NDJSON admission events, extract canonically at EOF")
+		streamVerts = flag.Int("stream-vertices", 0, "with -stream: initial vertex universe (grows on demand)")
+		repairEvery = flag.Int("repair-every", 0, "with -stream: run a repair pass every N deltas (0 = only at EOF with -repair)")
 	)
 	flag.Parse()
 
@@ -91,6 +105,16 @@ func main() {
 		Relabel: relabelFlag(*bfs),
 	}
 
+	if *stream {
+		if *in != "" || *batch != "" {
+			fail(fmt.Errorf("-stream reads deltas from stdin; it conflicts with -in and -batch"))
+		}
+		if *iters || *timings {
+			fail(fmt.Errorf("-iters and -timings are not supported with -stream"))
+		}
+		runStream(spec, *out, *jsonOut, *streamVerts, *repairEvery)
+		return
+	}
 	if *batch != "" {
 		if *in != "" || *out != "" {
 			fail(fmt.Errorf("-batch replaces -in and does not support -out (outputs would collide)"))
@@ -365,6 +389,85 @@ func runBatch(arg string, concurrency int, jsonOut bool, template chordal.Spec, 
 			rep.Total, rep.Unique, rep.Deduplicated, rep.Failed, rep.VerifyFailed, res.Wall)
 	}
 	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// runStream executes the streaming mode: the flag template becomes a
+// stream-mode spec, stdin deltas drive the session, each decision is
+// printed as one NDJSON event, and EOF closes the session with the
+// canonical extraction. The subgraph is written by the CLI itself
+// (stream specs reject Output — results come from Close), and the
+// verify outcome keeps the usual exit-code contract.
+func runStream(template chordal.Spec, out string, jsonOut bool, vertices, repairEvery int) {
+	spec := template
+	spec.Mode = chordal.ModeStream
+	ctx := context.Background()
+	enc := json.NewEncoder(os.Stdout)
+	s, err := chordal.OpenStream(ctx, spec, chordal.StreamConfig{
+		Vertices:    vertices,
+		RepairEvery: repairEvery,
+		Observer: func(ev chordal.Event) {
+			switch ev.Type {
+			case chordal.EventAdmit, chordal.EventDefer, chordal.EventRepair:
+				enc.Encode(ev)
+			}
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		d, err := chordal.ParseEdgeDelta(text)
+		if err != nil {
+			fail(fmt.Errorf("stdin line %d: %w", line, err))
+		}
+		if _, err := s.Push(ctx, d.U, d.V); err != nil {
+			fail(err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	res, err := s.Close(ctx)
+	if err != nil {
+		fail(err)
+	}
+	rep := res.Report
+	if jsonOut {
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	} else {
+		st := rep.Stream
+		fmt.Fprintf(os.Stderr, "stream: %d deltas (%d admitted, %d repaired, %d deferred, %d duplicate, %d invalid), %d repair passes\n",
+			st.Pushed, st.Admitted, st.Repaired, st.Deferred, st.Duplicates, st.Invalid, st.Repairs)
+		fmt.Fprintf(os.Stderr, "canonical result: %d vertices, %d input edges -> %d chordal edges\n",
+			rep.Input.Vertices, rep.Input.Edges, res.Subgraph.NumEdges())
+		if v := rep.Verify; v != nil {
+			if v.Chordal {
+				fmt.Fprintln(os.Stderr, "verified: output is chordal")
+			} else {
+				fmt.Fprintln(os.Stderr, "verification FAILED: output is not chordal")
+			}
+		}
+	}
+	if out != "" {
+		if err := chordal.SaveGraph(out, res.Subgraph); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %s\n", out, chordal.ComputeStats(res.Subgraph))
+	}
+	if v := rep.Verify; v != nil && !v.Chordal {
 		os.Exit(1)
 	}
 }

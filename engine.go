@@ -168,7 +168,11 @@ func resolveTuning(opts *Options, g *Graph) Tuning {
 		t.Source = "spec"
 	}
 	if opts.DegreeThreshold == 0 {
-		opts.DegreeThreshold = prof.DegreeThreshold
+		// The calibrated threshold, shape-checked against this graph's
+		// degree summary: hub-free and uniformly dense graphs disable
+		// the hybrid probe (-1) because its amortization cannot win
+		// there (see tune.ThresholdFor).
+		opts.DegreeThreshold = prof.ThresholdFor(g.MaxDegree(), g.NumVertices(), g.NumEdges())
 	} else {
 		t.Source = "spec"
 	}

@@ -33,6 +33,18 @@ const (
 	EventIteration EventType = "iteration"
 	// EventVerify carries the verify stage's outcome.
 	EventVerify EventType = "verify"
+	// EventAdmit carries one accepted stream delta (reason "admitted",
+	// "bridge", or — when Repair re-admits a deferred edge — "repaired");
+	// Delta holds the edge and its sequence number.
+	EventAdmit EventType = "admit"
+	// EventDefer carries one stream delta that did not join the
+	// maintained subgraph: rejected for now ("deferred", queued for
+	// Repair), already present ("present"), or malformed ("invalid").
+	EventDefer EventType = "defer"
+	// EventRepair summarizes one repair pass over the deferred queue;
+	// Repaired counts the edges it admitted (each also announced by its
+	// own EventAdmit).
+	EventRepair EventType = "repair"
 )
 
 // Tuning describes the resolved kernel tuning of one extraction run:
@@ -103,6 +115,11 @@ type Event struct {
 	Stats *IterationStats `json:"-"`
 	// Tuning is the resolved kernel tuning; nil except on tuning events.
 	Tuning *Tuning `json:"tuning,omitempty"`
+	// Delta is the stream delta an admit/defer event reports; nil for
+	// every other kind.
+	Delta *StreamDelta `json:"delta,omitempty"`
+	// Repaired counts the edges one repair pass admitted (repair events).
+	Repaired int `json:"repaired,omitempty"`
 	// Chordal reports the verify stage's chordality check; nil except on
 	// verify events.
 	Chordal *bool `json:"chordal,omitempty"`
@@ -150,6 +167,39 @@ func newIterationEvent(shard *int, it IterationStats) Event {
 func newTuningEvent(t Tuning) Event {
 	tun := t
 	return Event{Type: EventTuning, Tuning: &tun}
+}
+
+// StreamDelta is the wire form of one streamed edge decision: the
+// delta's sequence number within its session, the edge, and how the
+// admission kernel ruled (Reason carries the incremental.Reason wire
+// value verbatim).
+type StreamDelta struct {
+	// Seq is the 1-based position of this decision in the session's
+	// event order (pushes and repair re-admissions share one sequence).
+	Seq int64 `json:"seq"`
+	// U and V are the delta's endpoints as submitted (canonicalized to
+	// U < V for accepted edges).
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+	// Accepted reports whether the edge joined the maintained subgraph.
+	Accepted bool `json:"accepted"`
+	// Reason is the admission kernel's ruling: admitted, bridge,
+	// repaired, deferred, present, or invalid.
+	Reason string `json:"reason"`
+}
+
+// newDeltaEvent builds the admit/defer event for one stream decision.
+func newDeltaEvent(d StreamDelta) Event {
+	t := EventDefer
+	if d.Accepted {
+		t = EventAdmit
+	}
+	return Event{Type: t, Delta: &d}
+}
+
+// newRepairEvent builds the repair-pass summary event.
+func newRepairEvent(repaired int) Event {
+	return Event{Type: EventRepair, Repaired: repaired}
 }
 
 // newVerifyEvent builds the verify-outcome event.

@@ -5,39 +5,40 @@ import (
 	"sort"
 
 	"chordal/internal/graph"
-	"chordal/internal/verify"
+	"chordal/internal/incremental"
 )
 
 // repairMaximality re-examines every rejected edge against the final
 // extracted subgraph and admits those whose insertion keeps it chordal,
-// repeating until a full pass admits nothing. Algorithm 1 can leave
-// such edges behind: the paper's Theorem 2 argues that a rejected edge
+// repeating until a pass admits nothing. Algorithm 1 can leave such
+// edges behind: the paper's Theorem 2 argues that a rejected edge
 // would close a cycle longer than a triangle, but a long cycle only
 // violates chordality when it is chordless, and on graphs with multiple
 // internally-connected regions the surrounding chords can exist (the
 // serial baseline avoids this by always selecting the vertex with the
 // largest candidate set, a global greedy choice the parallel algorithm
-// gives up). Admission uses the dynamic-chordal-graph separator
-// criterion (verify.CanAddEdge), so chordality is preserved exactly.
+// gives up). Admission is delegated to incremental.Maintainer — the
+// repository's one implementation of the dynamic-chordal-graph
+// separator criterion — seeded with the kernel's edge set: one scan of
+// the input defers every inadmissible absent edge, and Repair retests
+// the deferred queue to the fixpoint.
 func repairMaximality(g *graph.Graph, res *Result, threshold int) {
-	adj := verify.AdjFromGraph(res.ToGraph())
-	scratch := verify.NewScratch(len(adj), threshold)
-	for changed := true; changed; {
-		changed = false
-		g.Edges(func(u, v int32) {
-			if res.HasChordalEdge(u, v) {
-				return
-			}
-			if !scratch.CanAddEdge(adj, u, v) {
-				return
-			}
-			adj[u] = append(adj[u], v)
-			adj[v] = append(adj[v], u)
-			scratch.Invalidate()
+	m := incremental.New(g.NumVertices(), threshold)
+	for _, e := range res.Edges {
+		m.Seed(e.U, e.V)
+	}
+	g.Edges(func(u, v int32) {
+		if res.HasChordalEdge(u, v) {
+			return
+		}
+		if ok, _ := m.Admit(u, v); ok {
 			res.addChordalEdge(u, v)
 			res.RepairedEdges++
-			changed = true
-		})
+		}
+	})
+	for _, e := range m.Repair() {
+		res.addChordalEdge(e.U, e.V)
+		res.RepairedEdges++
 	}
 	if res.RepairedEdges > 0 {
 		res.sortEdges()

@@ -1,0 +1,453 @@
+// Package incremental is the single home of dynamic-chordal-graph
+// admission: deciding whether an edge can join a chordal graph without
+// breaking chordality, and maintaining a chordal subgraph under an
+// edge-insertion stream.
+//
+// The criterion is the classic dynamic-chordal-graph separator test:
+// inserting the non-edge {u, v} keeps the graph chordal exactly when u
+// and v lie in different connected components, or their common
+// neighborhood N(u) ∩ N(v) separates u from v (then every cycle through
+// the new edge gains a chord at the separator). Checker implements the
+// test over a caller-owned adjacency; Maintainer owns the adjacency and
+// layers on a union-find bridge fast path, a common-neighbor pre-filter,
+// a deferred-edge queue for rejected insertions, and Repair — the
+// fixpoint retest that closes the paper's Theorem 2 maximality gap
+// (DESIGN.md §5): a rejected edge can become addable after later
+// admissions, so deferred edges are retested until a pass admits
+// nothing.
+//
+// Every other admission site in the repository — verify.CanAddEdge, the
+// shard border reconciliation, the core repair post-pass, and the
+// streaming sessions — delegates here; there is exactly one
+// implementation of the separator criterion.
+package incremental
+
+import (
+	"context"
+	"slices"
+
+	"chordal/internal/bitset"
+)
+
+// Edge is an undirected edge with U < V, the canonical orientation every
+// extraction result uses.
+type Edge struct {
+	U, V int32
+}
+
+// Reason explains an Admit decision. The strings are stable wire values:
+// the streaming admission events and the CLI's NDJSON output carry them
+// verbatim.
+type Reason string
+
+// Admit outcomes.
+const (
+	// ReasonAdmitted: the exact separator criterion accepted the edge.
+	ReasonAdmitted Reason = "admitted"
+	// ReasonBridge: the endpoints were in different components, so the
+	// edge is a bridge of the result — a bridge lies on no cycle, so no
+	// chordless cycle can appear (the paper's remark below Theorem 2).
+	ReasonBridge Reason = "bridge"
+	// ReasonRepaired: a previously deferred edge admitted by Repair.
+	ReasonRepaired Reason = "repaired"
+	// ReasonPresent: the edge is already in the maintained subgraph.
+	ReasonPresent Reason = "present"
+	// ReasonDeferred: the separator criterion rejected the edge for now;
+	// it is queued for retest by Repair.
+	ReasonDeferred Reason = "deferred"
+	// ReasonInvalid: a self loop or an endpoint outside the universe.
+	ReasonInvalid Reason = "invalid"
+)
+
+// Checker is the reusable scratch state of the separator checks: epoch
+// mark sets (bitset.Epoch) whose O(1) clear replaces per-call restore
+// loops, plus an optional cached marked neighborhood that amortizes
+// repeated intersections against the same high-degree vertex (border
+// admission tests edges in ascending-u order, so consecutive candidates
+// usually share u). A Checker is single-owner: give each worker its own.
+type Checker struct {
+	sep      *bitset.Epoch // current separator membership
+	visited  *bitset.Epoch // BFS visit marks (also tentative N(u) marks)
+	nbr      *bitset.Epoch // cached neighborhood membership of nbrOwner
+	nbrOwner int32         // vertex whose adjacency nbr holds, or -1
+	// threshold is the degree at or above which a vertex's neighborhood
+	// is worth caching in nbr for reuse across consecutive checks;
+	// negative disables caching.
+	threshold int
+	queue     []int32
+	sepList   []int32
+}
+
+// NewChecker returns a Checker for graphs with n vertices. threshold is
+// the degree at or above which a vertex's marked neighborhood is cached
+// for reuse across calls (0 picks a conservative default, negative
+// disables caching).
+func NewChecker(n, threshold int) *Checker {
+	if threshold == 0 {
+		threshold = 32
+	}
+	return &Checker{
+		sep:       bitset.NewEpoch(n),
+		visited:   bitset.NewEpoch(n),
+		nbr:       bitset.NewEpoch(n),
+		nbrOwner:  -1,
+		threshold: threshold,
+	}
+}
+
+// Invalidate drops the cached neighborhood. Call it after mutating the
+// adjacency a previous check marked (admitting an edge appends to both
+// endpoint lists, so a cached marking of either endpoint goes stale).
+func (s *Checker) Invalidate() { s.nbrOwner = -1 }
+
+// HasCommonNeighbor reports whether u and v share a neighbor — the
+// cheap triangle-style pre-filter run before the exact separator check
+// (an empty N(u) ∩ N(v) cannot separate connected vertices). The marked
+// side prefers the cached neighborhood, then the longer list, so a hub
+// is materialized once and each check probes the short list in
+// O(deg(small)). Low-degree markings go to a throwaway epoch set so
+// they never evict a cached hub.
+func (s *Checker) HasCommonNeighbor(adj [][]int32, u, v int32) bool {
+	// Swap so v is the side to mark: the cached owner when one matches,
+	// otherwise the longer list.
+	if s.nbrOwner != v && (s.nbrOwner == u || len(adj[u]) >= len(adj[v])) {
+		u, v = v, u
+	}
+	var marked *bitset.Epoch
+	switch {
+	case s.nbrOwner == v:
+		marked = s.nbr
+	case s.threshold >= 0 && len(adj[v]) >= s.threshold:
+		s.nbr.Clear()
+		for _, x := range adj[v] {
+			s.nbr.Add(x)
+		}
+		s.nbrOwner = v
+		marked = s.nbr
+	default:
+		s.visited.Clear()
+		for _, x := range adj[v] {
+			s.visited.Add(x)
+		}
+		marked = s.visited
+	}
+	for _, x := range adj[u] {
+		if marked.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanAddEdge reports whether adding the non-edge {u, v} to the chordal
+// graph with the given adjacency keeps it chordal. It uses the classic
+// dynamic-chordal-graph criterion: the insertion is safe exactly when u
+// and v lie in different connected components, or their common
+// neighborhood separates u from v (every u-v path meets it, so every
+// cycle through the new edge gains a chord at the separator). The
+// check is a BFS from u that avoids N(u) ∩ N(v) and looks for v,
+// O(V+E) worst case but typically local. The adjacency must be chordal
+// and must not already contain {u, v}. All bookkeeping lives in the
+// epoch sets of s — clearing is one epoch bump, so nothing is restored
+// between calls.
+func (s *Checker) CanAddEdge(adj [][]int32, u, v int32) bool {
+	// Mark the common neighborhood N(u) ∩ N(v) in sep: tentatively mark
+	// N(u) in visited, intersect with N(v), then drop the tentative
+	// marks with one epoch bump.
+	s.visited.Clear()
+	for _, x := range adj[u] {
+		s.visited.Add(x)
+	}
+	s.sep.Clear()
+	s.sepList = s.sepList[:0]
+	for _, x := range adj[v] {
+		if s.visited.Contains(x) {
+			s.sep.Add(x)
+			s.sepList = append(s.sepList, x)
+		}
+	}
+	s.visited.Clear()
+
+	// Search from u avoiding the separator; if v is reached, the common
+	// neighborhood does not separate them and the edge is not addable.
+	s.queue = append(s.queue[:0], u)
+	s.visited.Add(u)
+	for len(s.queue) > 0 {
+		x := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		for _, y := range adj[x] {
+			if y == v {
+				return false
+			}
+			if !s.sep.Contains(y) && !s.visited.Contains(y) {
+				s.visited.Add(y)
+				s.queue = append(s.queue, y)
+			}
+		}
+	}
+	return true
+}
+
+// Maintainer holds a chordal subgraph of an n-vertex universe and
+// decides edge insertions with the separator criterion. It is the one
+// admission kernel shared by the batch engines (shard border
+// reconciliation, the repair post-pass) and the streaming sessions.
+// A Maintainer is single-owner: callers serialize access.
+type Maintainer struct {
+	adj     [][]int32
+	checker *Checker
+	// uf is a union-find over the maintained subgraph's components:
+	// Admit takes the O(α) bridge fast path when the endpoints are in
+	// different components, skipping the BFS entirely, and the same-
+	// component fact is what licenses the common-neighbor pre-filter
+	// as a rejection (an empty separator cannot separate connected
+	// vertices).
+	uf       []int32
+	ufSize   []int32
+	deferred []Edge
+	// inDeferred dedups the queue so a delta stream that repeats a
+	// rejected edge cannot grow it without bound.
+	inDeferred map[int64]struct{}
+	edges      int
+	threshold  int
+}
+
+// New returns a Maintainer over an empty subgraph of n vertices.
+// threshold follows NewChecker's convention (0 = default, negative
+// disables the hub-neighborhood cache).
+func New(n, threshold int) *Maintainer {
+	m := &Maintainer{
+		adj:        make([][]int32, n),
+		checker:    NewChecker(n, threshold),
+		uf:         make([]int32, n),
+		ufSize:     make([]int32, n),
+		inDeferred: make(map[int64]struct{}),
+		threshold:  threshold,
+	}
+	for i := range m.uf {
+		m.uf[i] = int32(i)
+		m.ufSize[i] = 1
+	}
+	return m
+}
+
+// Seed adds the edge {u, v} without any chordality check — the caller
+// promises the seeded edge set is chordal (a kernel's extraction
+// result). Seeding an edge twice, a self loop, or an out-of-range
+// endpoint corrupts the invariant; Seed is for trusted bulk adoption,
+// Admit for everything else.
+func (m *Maintainer) Seed(u, v int32) {
+	m.adj[u] = append(m.adj[u], v)
+	m.adj[v] = append(m.adj[v], u)
+	m.union(u, v)
+	m.edges++
+}
+
+// Vertices returns the universe size.
+func (m *Maintainer) Vertices() int { return len(m.adj) }
+
+// EdgeCount returns the number of edges in the maintained subgraph.
+func (m *Maintainer) EdgeCount() int { return m.edges }
+
+// DeferredCount returns the number of rejected edges queued for Repair.
+func (m *Maintainer) DeferredCount() int { return len(m.deferred) }
+
+// DeferredEdges returns a copy of the deferred queue in queue order.
+// Together with EdgeList it reconstructs every distinct valid edge ever
+// offered to Admit: each one is either in the maintained subgraph or
+// still deferred.
+func (m *Maintainer) DeferredEdges() []Edge {
+	out := make([]Edge, len(m.deferred))
+	copy(out, m.deferred)
+	return out
+}
+
+// Adj exposes the maintained adjacency. The slices alias the
+// Maintainer's storage: callers must not mutate them, and the view goes
+// stale on the next Admit/Repair.
+func (m *Maintainer) Adj() [][]int32 { return m.adj }
+
+// EdgeList returns the maintained edges with U < V in (U, V) order.
+func (m *Maintainer) EdgeList() []Edge {
+	out := make([]Edge, 0, m.edges)
+	for u := range m.adj {
+		for _, v := range m.adj[u] {
+			if int32(u) < v {
+				out = append(out, Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+// Grow extends the universe to n vertices (no-op when already at least
+// that large). Growth reallocates the checker's epoch sets, so it is
+// amortized by the session layer's doubling policy, not called per
+// delta.
+func (m *Maintainer) Grow(n int) {
+	if n <= len(m.adj) {
+		return
+	}
+	adj := make([][]int32, n)
+	copy(adj, m.adj)
+	m.adj = adj
+	for i := len(m.uf); i < n; i++ {
+		m.uf = append(m.uf, int32(i))
+		m.ufSize = append(m.ufSize, 1)
+	}
+	m.checker = NewChecker(n, m.threshold)
+}
+
+// HasEdge reports whether {u, v} is in the maintained subgraph.
+func (m *Maintainer) HasEdge(u, v int32) bool {
+	a, b := u, v
+	if len(m.adj[a]) > len(m.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range m.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Admit decides the insertion of {u, v}: accepted edges join the
+// maintained subgraph (chordality preserved by the separator
+// criterion), rejections are queued for Repair, and the reason reports
+// which path decided. The decision sequence for a given delta order is
+// deterministic.
+func (m *Maintainer) Admit(u, v int32) (bool, Reason) {
+	return m.admit(u, v, true)
+}
+
+// admit is Admit with the deferred-queue policy explicit; Repair
+// retests with deferOnReject=false so a rejected edge keeps its one
+// queue slot instead of re-entering.
+func (m *Maintainer) admit(u, v int32, deferOnReject bool) (bool, Reason) {
+	n := int32(len(m.adj))
+	if u == v || u < 0 || v < 0 || u >= n || v >= n {
+		return false, ReasonInvalid
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if m.HasEdge(u, v) {
+		return false, ReasonPresent
+	}
+	if m.find(u) != m.find(v) {
+		m.add(u, v)
+		return true, ReasonBridge
+	}
+	// Connected endpoints: an empty common neighborhood cannot separate
+	// them, so the cheap intersection rejects without the BFS; otherwise
+	// run the exact check.
+	if !m.checker.HasCommonNeighbor(m.adj, u, v) || !m.checker.CanAddEdge(m.adj, u, v) {
+		if deferOnReject {
+			key := int64(u)<<32 | int64(v)
+			if _, dup := m.inDeferred[key]; !dup {
+				m.inDeferred[key] = struct{}{}
+				m.deferred = append(m.deferred, Edge{U: u, V: v})
+			}
+		}
+		return false, ReasonDeferred
+	}
+	m.add(u, v)
+	return true, ReasonAdmitted
+}
+
+// add records an accepted edge: adjacency on both sides, component
+// union, and invalidation of the checker's cached neighborhood (the
+// lists it marked just grew).
+func (m *Maintainer) add(u, v int32) {
+	m.adj[u] = append(m.adj[u], v)
+	m.adj[v] = append(m.adj[v], u)
+	m.checker.Invalidate()
+	m.union(u, v)
+	m.edges++
+}
+
+// Repair retests the deferred queue until a full pass admits nothing,
+// returning the edges admitted in admission order. This is the fixpoint
+// that closes the Theorem 2 maximality gap: after Repair, no deferred
+// edge can be added to the maintained subgraph without breaking
+// chordality.
+func (m *Maintainer) Repair() []Edge {
+	admitted, _ := m.RepairContext(context.Background())
+	return admitted
+}
+
+// RepairContext is Repair under a context: cancellation is observed
+// every few hundred retests, returning the edges admitted so far with
+// ctx.Err(). Queue order is preserved across passes, so the admission
+// sequence is deterministic for a given deferral order.
+func (m *Maintainer) RepairContext(ctx context.Context) ([]Edge, error) {
+	var admitted []Edge
+	tested := 0
+	for changed := true; changed; {
+		changed = false
+		rest := m.deferred[:0]
+		for _, e := range m.deferred {
+			if tested++; tested%256 == 0 && ctx.Err() != nil {
+				rest = append(rest, e)
+				continue
+			}
+			ok, _ := m.admit(e.U, e.V, false)
+			if ok {
+				delete(m.inDeferred, int64(e.U)<<32|int64(e.V))
+				admitted = append(admitted, e)
+				changed = true
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		m.deferred = rest
+		if err := ctx.Err(); err != nil {
+			return admitted, err
+		}
+	}
+	return admitted, nil
+}
+
+// ResetDeferred drops the deferred queue. The shard repair pass uses it
+// to rebuild the queue from a full scan of the original graph, so its
+// retest order matches the scan order exactly.
+func (m *Maintainer) ResetDeferred() {
+	m.deferred = m.deferred[:0]
+	for k := range m.inDeferred {
+		delete(m.inDeferred, k)
+	}
+}
+
+// find is union-find lookup with path halving.
+func (m *Maintainer) find(v int32) int32 {
+	for m.uf[v] != v {
+		m.uf[v] = m.uf[m.uf[v]]
+		v = m.uf[v]
+	}
+	return v
+}
+
+// union merges the components of u and v by size.
+func (m *Maintainer) union(u, v int32) {
+	ru, rv := m.find(u), m.find(v)
+	if ru == rv {
+		return
+	}
+	if m.ufSize[ru] < m.ufSize[rv] {
+		ru, rv = rv, ru
+	}
+	m.uf[rv] = ru
+	m.ufSize[ru] += m.ufSize[rv]
+}
+
+// sortEdges orders edges by (U, V), the canonical result order.
+func sortEdges(edges []Edge) {
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
+		}
+		return int(a.V) - int(b.V)
+	})
+}

@@ -157,6 +157,10 @@ type Server struct {
 	// the single-flight table: identical concurrent submissions attach
 	// to the entry instead of running the pipeline again.
 	inflight map[string]*Job
+	// streams holds the live streaming sessions; they ride the same GC
+	// sweep as jobs (terminal sessions by age, open ones by idleness).
+	streams   map[string]*streamSession
+	streamSeq int
 
 	inputs  *lruCache[*graph.Graph]
 	results *lruCache[*cachedResult]
@@ -193,6 +197,7 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*Job),
 		batches:  make(map[string]*batchRec),
 		inflight: make(map[string]*Job),
+		streams:  make(map[string]*streamSession),
 		inputs: newLRU[*graph.Graph](cfg.InputCacheBytes, func(g *graph.Graph) int64 {
 			return g.SizeBytes()
 		}),
@@ -215,6 +220,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamOpen)
+	s.mux.HandleFunc("POST /v1/streams/{id}/edges", s.handleStreamEdges)
+	s.mux.HandleFunc("POST /v1/streams/{id}/close", s.handleStreamClose)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamStatus)
+	s.mux.HandleFunc("GET /v1/streams/{id}/events", s.handleStreamEvents)
+	s.mux.HandleFunc("GET /v1/streams/{id}/result", s.handleStreamResult)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.JobTTL > 0 {
 		s.wg.Add(1)
@@ -270,6 +282,14 @@ func (s *Server) gcSweep(now time.Time) int {
 	for id, b := range s.batches {
 		if b.created.Before(cutoff) && b.terminalBefore(cutoff) {
 			delete(s.batches, id)
+		}
+	}
+	// Streaming sessions: terminal ones age out like jobs, and an open
+	// session with no delta, close, or status activity for a full TTL is
+	// abandoned — sweeping it drops the maintained subgraph it pins.
+	for id, ss := range s.streams {
+		if ss.created.Before(cutoff) && ss.expired(cutoff) {
+			delete(s.streams, id)
 		}
 	}
 	return removed
@@ -766,6 +786,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	total := len(s.jobs)
 	batches := len(s.batches)
 	inflight := len(s.inflight)
+	streams := len(s.streams)
 	counts := map[string]int{}
 	for _, j := range s.jobs {
 		counts[j.Status().State]++
@@ -781,6 +802,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"canceled":               counts[StateCanceled],
 		"inflight":               inflight,
 		"batches":                batches,
+		"streams":                streams,
 		"workers":                s.budget.Total(),
 		"maxConcurrent":          s.cfg.MaxConcurrent,
 		"inputCache":             s.inputs.Len(),

@@ -75,16 +75,27 @@ type JobOptions struct {
 	// Verify runs the chordality check (and maximality audit on small
 	// inputs) on the result; omitted means true.
 	Verify *bool `json:"verify,omitempty"`
+	// Mode is batch|stream (default batch). Stream-mode specs are not
+	// jobs: POST /v1/jobs rejects them and points at POST /v1/streams,
+	// which takes the same options object.
+	Mode string `json:"mode,omitempty"`
 }
 
 // Spec decodes the wire options into a normalized chordal.Spec for the
 // given source — the thin mapping layer between the HTTP API and the
 // library's one spec representation.
 func (o JobOptions) Spec(source string) (chordal.Spec, error) {
+	return o.rawSpec(source).Normalize()
+}
+
+// rawSpec builds the un-normalized chordal.Spec the wire options
+// describe; Spec and the stream-open handler normalize it themselves.
+func (o JobOptions) rawSpec(source string) chordal.Spec {
 	return chordal.Spec{
 		V:       chordal.SpecVersion,
 		Source:  source,
 		Relabel: o.Relabel,
+		Mode:    o.Mode,
 		Engine:  o.Engine,
 		EngineConfig: chordal.EngineConfig{
 			Variant:         o.Variant,
@@ -99,7 +110,7 @@ func (o JobOptions) Spec(source string) (chordal.Spec, error) {
 			Order:           o.Order,
 		},
 		Verify: o.Verify == nil || *o.Verify,
-	}.Normalize()
+	}
 }
 
 // jobSpec pairs a normalized chordal.Spec with its canonical identity —
@@ -127,6 +138,9 @@ type jobSpec struct {
 // disclose their contents); uploads are the supported way to submit
 // graph data.
 func newJobSpec(req JobRequest, allowPaths bool) (jobSpec, error) {
+	if strings.EqualFold(strings.TrimSpace(req.Options.Mode), chordal.ModeStream) {
+		return jobSpec{}, fmt.Errorf("service: stream-mode specs are sessions, not jobs; open one at POST /v1/streams")
+	}
 	if strings.TrimSpace(req.Source) == "" {
 		return jobSpec{}, fmt.Errorf("service: job needs a source (or a multipart graph upload)")
 	}

@@ -21,11 +21,12 @@
 //     remark below Theorem 2 that core.stitchComponents already uses).
 //  2. Border admission (skipped under StitchOnly): each remaining
 //     border edge {u, v} is tested with the exact dynamic-chordal-graph
-//     separator criterion (verify.CanAddEdge) against the merged
-//     subgraph built so far — the admit-if-it-closes-a-triangle idea of
-//     the distributed baseline in internal/partition, but with the
-//     exact criterion, so chordality is preserved by construction
-//     instead of repaired by a cycle-elimination pass afterwards.
+//     separator criterion (incremental.Maintainer, the repository's one
+//     admission kernel) against the merged subgraph built so far — the
+//     admit-if-it-closes-a-triangle idea of the distributed baseline in
+//     internal/partition, but with the exact criterion, so chordality
+//     is preserved by construction instead of repaired by a
+//     cycle-elimination pass afterwards.
 //
 // Both passes are sequential scans in a deterministic edge order, and
 // the per-shard kernels run the schedule-independent dataflow
@@ -43,6 +44,7 @@ import (
 
 	"chordal/internal/core"
 	"chordal/internal/graph"
+	"chordal/internal/incremental"
 	"chordal/internal/parallel"
 	"chordal/internal/partition"
 	"chordal/internal/verify"
@@ -309,36 +311,18 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 		return
 	}
 
-	// Passes 2 and 3 share a mutable adjacency of the merged subgraph.
-	adj := make([][]int32, n)
+	// Passes 2 and 3 delegate admission to incremental.Maintainer — the
+	// repository's one implementation of the separator criterion —
+	// seeded with the merged subgraph. The maintainer runs the cheap
+	// common-neighbor pre-filter before the exact check (after pass 1
+	// every candidate's endpoints lie in one component, so an empty
+	// N(u) ∩ N(v) cannot separate them), keeps a hub's marked
+	// neighborhood cached across the ascending-u candidate order, and
+	// records every rejection in its deferred queue for the repair
+	// fixpoint.
+	m := incremental.New(n, opts.Core.DegreeThreshold)
 	for _, e := range res.Edges {
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
-	}
-	scratch := verify.NewScratch(n, opts.Core.DegreeThreshold)
-	admit := func(u, v int32) {
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
-		// The cached neighborhood may belong to u or v, whose lists
-		// just grew.
-		scratch.Invalidate()
-		res.Edges = append(res.Edges, core.Edge{U: u, V: v})
-	}
-
-	// After pass 1 every candidate's endpoints lie in one component
-	// (they are adjacent in g, and the spanning stitch unioned
-	// everything g connects), so the separator criterion can only
-	// admit an edge whose endpoints share a chordal neighbor — an
-	// empty N(u) ∩ N(v) cannot separate connected vertices. Rejecting
-	// on that cheap intersection first skips the exact check's BFS for
-	// the vast majority of border edges, which would otherwise walk
-	// most of the merged graph per rejection. The scratch's epoch sets
-	// make each probe O(deg(small)) with no restore loop, and border
-	// edges arrive in ascending-u order, so a high-degree endpoint's
-	// marked neighborhood is built once and reused across consecutive
-	// candidates.
-	candidate := func(u, v int32) bool {
-		return scratch.HasCommonNeighbor(adj, u, v)
+		m.Seed(e.U, e.V)
 	}
 
 	// Pass 2 — exact border admission in deterministic order. The
@@ -351,42 +335,40 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 			if i%256 == 0 && ctx.Err() != nil {
 				return
 			}
-			if candidate(e.U, e.V) && scratch.CanAddEdge(adj, e.U, e.V) {
-				admit(e.U, e.V)
+			if ok, _ := m.Admit(e.U, e.V); ok {
+				res.Edges = append(res.Edges, e)
 				res.BorderAdmitted++
 			}
 		}
 	}
 
 	// Pass 3 — optional full repair to maximality, the merged analogue
-	// of core's RepairMaximality post-pass.
+	// of core's RepairMaximality post-pass: one scan of the original
+	// graph defers every inadmissible absent edge in scan order, then
+	// the maintainer retests the queue until a pass admits nothing.
 	if opts.Repair {
-		present := make(map[int64]bool, len(res.Edges))
-		for _, e := range res.Edges {
-			present[int64(e.U)<<32|int64(e.V)] = true
-		}
+		m.ResetDeferred() // rebuild the queue in g.Edges scan order
 		scanned, aborted := 0, false
-		for changed := true; changed && !aborted; {
-			changed = false
-			g.Edges(func(u, v int32) {
-				if aborted {
-					return
-				}
-				if scanned++; scanned%1024 == 0 && ctx.Err() != nil {
-					aborted = true
-					return
-				}
-				if present[int64(u)<<32|int64(v)] {
-					return
-				}
-				if !candidate(u, v) || !scratch.CanAddEdge(adj, u, v) {
-					return
-				}
-				admit(u, v)
-				present[int64(u)<<32|int64(v)] = true
+		g.Edges(func(u, v int32) {
+			if aborted {
+				return
+			}
+			if scanned++; scanned%1024 == 0 && ctx.Err() != nil {
+				aborted = true
+				return
+			}
+			if ok, _ := m.Admit(u, v); ok {
+				res.Edges = append(res.Edges, core.Edge{U: u, V: v})
 				res.RepairedEdges++
-				changed = true
-			})
+			}
+		})
+		if aborted {
+			return
+		}
+		admitted, _ := m.RepairContext(ctx) // ctx error rechecked by the caller
+		for _, e := range admitted {
+			res.Edges = append(res.Edges, core.Edge{U: e.U, V: e.V})
+			res.RepairedEdges++
 		}
 	}
 }

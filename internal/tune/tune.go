@@ -249,6 +249,39 @@ func calibrateThreshold() int {
 	return t
 }
 
+// ThresholdFor adapts the profile's hybrid threshold to one graph's
+// degree shape. The hybrid probe only pays off when hubs are rare —
+// a few large chordal sets materialized once and probed by many small
+// children. Two cheap degree statistics detect the shapes where that
+// assumption fails, and both disable the hybrid (threshold -1) so the
+// kernel runs the pure merge scan:
+//
+//   - maxDegree < threshold: no chordal set can ever reach the
+//     threshold, so the hybrid branch is dead weight on every test.
+//   - average degree >= threshold: essentially every vertex is a "hub",
+//     so the kernel materializes constantly and the per-materialization
+//     reuse the break-even model assumes never happens. This is the
+//     k-tree shape (uniformly dense) that regressed to 0.92x.
+//
+// Values pinned by the environment (Source "env") and explicit spec
+// values (resolved before this is consulted) are never overridden —
+// they are the reproduce-exactly escape hatch. The check is pure
+// arithmetic on the degree summary, deterministic across machines, and
+// never changes the extracted edge set (the threshold is a speed knob).
+func (p Profile) ThresholdFor(maxDegree, vertices int, edges int64) int {
+	t := p.DegreeThreshold
+	if t <= 0 || p.Source == "env" || vertices == 0 {
+		return t
+	}
+	if maxDegree < t {
+		return -1
+	}
+	if avg := float64(2*edges) / float64(vertices); avg >= float64(t) {
+		return -1
+	}
+	return t
+}
+
 // EstimateTrace synthesizes a workload trace for an extraction over a
 // graph of the given size without running it: the dataflow schedule's
 // typical shape of a few geometrically shrinking iterations, with scan

@@ -83,6 +83,38 @@ func TestCurrentMemoized(t *testing.T) {
 	}
 }
 
+func TestThresholdFor(t *testing.T) {
+	cal := Profile{DegreeThreshold: 40, Source: "calibrated"}
+	cases := []struct {
+		name     string
+		p        Profile
+		maxDeg   int
+		vertices int
+		edges    int64
+		want     int
+	}{
+		// The measured kernel-suite shapes: skewed graphs keep the
+		// calibrated threshold, the uniformly dense k-tree (avg degree
+		// 95 >= 40, the 0.92x regression) and hub-free graphs (max
+		// degree below the threshold) disable the hybrid outright.
+		{"rmat-b skewed hubs", cal, 660, 4096, 55300, 40},
+		{"gnm moderate", cal, 57, 4096, 65536, 40},
+		{"ktree uniform dense", cal, 2858, 3000, 142824, -1},
+		{"rmat-er hub-free", cal, 34, 16384, 131008, -1},
+		{"ws hub-free", cal, 23, 10000, 79990, -1},
+		{"avg exactly at threshold", cal, 100, 100, 2000, -1},
+		{"env pin wins", Profile{DegreeThreshold: 40, Source: "env"}, 2858, 3000, 142824, 40},
+		{"already disabled", Profile{DegreeThreshold: -1, Source: "calibrated"}, 660, 4096, 55300, -1},
+		{"empty graph", cal, 0, 0, 0, 40},
+	}
+	for _, tc := range cases {
+		if got := tc.p.ThresholdFor(tc.maxDeg, tc.vertices, tc.edges); got != tc.want {
+			t.Errorf("%s: ThresholdFor(%d, %d, %d) = %d, want %d",
+				tc.name, tc.maxDeg, tc.vertices, tc.edges, got, tc.want)
+		}
+	}
+}
+
 func TestEstimateTrace(t *testing.T) {
 	tr := EstimateTrace(1000, 5000)
 	if len(tr.QueueSize) != 3 || len(tr.Work) != 3 {

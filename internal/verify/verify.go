@@ -8,8 +8,8 @@
 package verify
 
 import (
-	"chordal/internal/bitset"
 	"chordal/internal/graph"
+	"chordal/internal/incremental"
 )
 
 // MCSOrder runs Maximum Cardinality Search and returns the visit order
@@ -174,134 +174,19 @@ func AdjFromGraph(g *graph.Graph) [][]int32 {
 	return adj
 }
 
-// Scratch is the reusable per-worker state of the separator checks:
-// epoch-backed mark sets (bitset.Epoch) whose O(1) clear replaces the
-// per-call restore loops an []int32 scratch needed, plus an optional
-// cached marked neighborhood that amortizes repeated intersections
-// against the same high-degree vertex (border admission tests edges in
-// ascending-u order, so consecutive candidates usually share u). A
-// Scratch is single-owner: give each worker its own.
-type Scratch struct {
-	sep      *bitset.Epoch // current separator membership
-	visited  *bitset.Epoch // BFS visit marks (also tentative N(u) marks)
-	nbr      *bitset.Epoch // cached neighborhood membership of nbrOwner
-	nbrOwner int32         // vertex whose adjacency nbr holds, or -1
-	// threshold is the degree at or above which a vertex's neighborhood
-	// is worth caching in nbr for reuse across consecutive checks;
-	// negative disables caching.
-	threshold int
-	queue     []int32
-	sepList   []int32
-}
+// Scratch is the reusable per-worker state of the separator checks. It
+// is an alias of incremental.Checker — the one implementation of the
+// dynamic-chordal-graph separator criterion lives in
+// internal/incremental; verify re-exports it so audit and test callers
+// keep their historical entry point.
+type Scratch = incremental.Checker
 
 // NewScratch returns a Scratch for graphs with n vertices. threshold is
 // the degree at or above which a vertex's marked neighborhood is cached
 // for reuse across calls (0 picks a conservative default, negative
 // disables caching).
 func NewScratch(n, threshold int) *Scratch {
-	if threshold == 0 {
-		threshold = 32
-	}
-	return &Scratch{
-		sep:       bitset.NewEpoch(n),
-		visited:   bitset.NewEpoch(n),
-		nbr:       bitset.NewEpoch(n),
-		nbrOwner:  -1,
-		threshold: threshold,
-	}
-}
-
-// Invalidate drops the cached neighborhood. Call it after mutating the
-// adjacency a previous check marked (admitting an edge appends to both
-// endpoint lists, so a cached marking of either endpoint goes stale).
-func (s *Scratch) Invalidate() { s.nbrOwner = -1 }
-
-// HasCommonNeighbor reports whether u and v share a neighbor — the
-// cheap triangle-style pre-filter run before the exact separator check
-// (an empty N(u) ∩ N(v) cannot separate connected vertices). The marked
-// side prefers the cached neighborhood, then the longer list, so a hub
-// is materialized once and each check probes the short list in
-// O(deg(small)). Low-degree markings go to a throwaway epoch set so
-// they never evict a cached hub.
-func (s *Scratch) HasCommonNeighbor(adj [][]int32, u, v int32) bool {
-	// Swap so v is the side to mark: the cached owner when one matches,
-	// otherwise the longer list.
-	if s.nbrOwner != v && (s.nbrOwner == u || len(adj[u]) >= len(adj[v])) {
-		u, v = v, u
-	}
-	var marked *bitset.Epoch
-	switch {
-	case s.nbrOwner == v:
-		marked = s.nbr
-	case s.threshold >= 0 && len(adj[v]) >= s.threshold:
-		s.nbr.Clear()
-		for _, x := range adj[v] {
-			s.nbr.Add(x)
-		}
-		s.nbrOwner = v
-		marked = s.nbr
-	default:
-		s.visited.Clear()
-		for _, x := range adj[v] {
-			s.visited.Add(x)
-		}
-		marked = s.visited
-	}
-	for _, x := range adj[u] {
-		if marked.Contains(x) {
-			return true
-		}
-	}
-	return false
-}
-
-// CanAddEdge reports whether adding the non-edge {u, v} to the chordal
-// graph with the given adjacency keeps it chordal. It uses the classic
-// dynamic-chordal-graph criterion: the insertion is safe exactly when u
-// and v lie in different connected components, or their common
-// neighborhood separates u from v (every u-v path meets it, so every
-// cycle through the new edge gains a chord at the separator). The
-// check is a BFS from u that avoids N(u) ∩ N(v) and looks for v,
-// O(V+E) worst case but typically local. The adjacency must be chordal
-// and must not already contain {u, v}. All bookkeeping lives in the
-// epoch sets of s — clearing is one epoch bump, so nothing is restored
-// between calls.
-func (s *Scratch) CanAddEdge(adj [][]int32, u, v int32) bool {
-	// Mark the common neighborhood N(u) ∩ N(v) in sep: tentatively mark
-	// N(u) in visited, intersect with N(v), then drop the tentative
-	// marks with one epoch bump.
-	s.visited.Clear()
-	for _, x := range adj[u] {
-		s.visited.Add(x)
-	}
-	s.sep.Clear()
-	s.sepList = s.sepList[:0]
-	for _, x := range adj[v] {
-		if s.visited.Contains(x) {
-			s.sep.Add(x)
-			s.sepList = append(s.sepList, x)
-		}
-	}
-	s.visited.Clear()
-
-	// Search from u avoiding the separator; if v is reached, the common
-	// neighborhood does not separate them and the edge is not addable.
-	s.queue = append(s.queue[:0], u)
-	s.visited.Add(u)
-	for len(s.queue) > 0 {
-		x := s.queue[len(s.queue)-1]
-		s.queue = s.queue[:len(s.queue)-1]
-		for _, y := range adj[x] {
-			if y == v {
-				return false
-			}
-			if !s.sep.Contains(y) && !s.visited.Contains(y) {
-				s.visited.Add(y)
-				s.queue = append(s.queue, y)
-			}
-		}
-	}
-	return true
+	return incremental.NewChecker(n, threshold)
 }
 
 // CanAddEdge is the package-level form of Scratch.CanAddEdge for

@@ -90,6 +90,30 @@ type RunReport struct {
 	TotalMillis float64        `json:"totalMillis"`
 }
 
+// StreamReport is the JSON-ready summary of a closed streaming
+// session: the normalized stream-mode spec and its canonical identity,
+// the online session counters, the accumulated input, and the
+// canonical Close-time extraction and verify outcomes. `chordal
+// -stream -json` emits it, and the service returns it from POST
+// /v1/streams/{id}/close.
+type StreamReport struct {
+	// Spec is the normalized stream-mode spec the session ran.
+	Spec Spec `json:"spec"`
+	// Canonical is the spec's identity (Spec.Canonical), shared across
+	// the library, CLI, and service.
+	Canonical string `json:"canonical"`
+	// Stream holds the online session counters at Close.
+	Stream StreamStats `json:"stream"`
+	// Input describes the graph accumulated from the deltas.
+	Input ReportInput `json:"input"`
+	// Extraction summarizes the canonical Close-time extraction.
+	Extraction *ReportExtraction `json:"extraction,omitempty"`
+	// Tuning is the resolved kernel tuning of that extraction.
+	Tuning *Tuning `json:"tuning,omitempty"`
+	// Verify carries the verify outcome; nil when verification was off.
+	Verify *ReportVerify `json:"verify,omitempty"`
+}
+
 // BatchItemReport is one batch item in a BatchReport.
 type BatchItemReport struct {
 	// Index is the item's position in the submitted batch.

@@ -126,6 +126,14 @@ type Spec struct {
 	// Relabel renumbers vertices before extraction: none|bfs|degree
 	// (default none).
 	Relabel string `json:"relabel,omitempty"`
+	// Mode selects batch execution (the default; Run) or a streaming
+	// session (OpenStream): batch|stream. Batch normalizes to the empty
+	// string, so every pre-existing spec — and its canonical key — is
+	// unchanged. Stream mode requires a StreamEngine-capable engine,
+	// takes its input as edge deltas (Source must be empty), and is
+	// incompatible with Relabel and Output (both need the whole graph up
+	// front; the session's Close delivers the result instead).
+	Mode string `json:"mode,omitempty"`
 	// Engine names the registered extraction engine (see EngineNames),
 	// or "none" to skip extraction. Empty selects parallel — unless
 	// exactly one of Partitions/Shards is set, which implies the
@@ -257,6 +265,33 @@ func (s Spec) Normalize() (Spec, error) {
 	if n.Verify && n.Engine == EngineNone {
 		return n, fmt.Errorf("chordal: spec: verify requires an extraction engine")
 	}
+	n.Mode = strings.ToLower(strings.TrimSpace(n.Mode))
+	switch n.Mode {
+	case "", ModeBatch:
+		// Batch is the zero value: normalizing it away keeps every
+		// pre-existing spec's JSON form and canonical key byte-identical.
+		n.Mode = ""
+	case ModeStream:
+		if n.Engine == EngineNone {
+			return n, fmt.Errorf("chordal: spec: stream mode requires an extraction engine")
+		}
+		if eng, ok := LookupEngine(n.Engine); !ok {
+			return n, fmt.Errorf("chordal: spec: unknown engine %q", n.Engine)
+		} else if _, ok := eng.(StreamEngine); !ok {
+			return n, fmt.Errorf("chordal: spec: engine %q does not support streaming (it implements no StreamEngine)", n.Engine)
+		}
+		if n.Source != "" {
+			return n, fmt.Errorf("chordal: spec: stream mode takes edge deltas through the session, not a source (%q)", n.Source)
+		}
+		if n.Relabel != RelabelNone.String() {
+			return n, fmt.Errorf("chordal: spec: relabel=%s requires the whole graph up front; stream mode cannot apply it", n.Relabel)
+		}
+		if n.Output != "" {
+			return n, fmt.Errorf("chordal: spec: stream mode delivers results through the session's Close, not output=%q", n.Output)
+		}
+	default:
+		return n, fmt.Errorf("chordal: spec: unknown mode %q (want %s|%s)", n.Mode, ModeBatch, ModeStream)
+	}
 	return n, nil
 }
 
@@ -284,6 +319,12 @@ func (s Spec) Canonical() (string, error) {
 	key := fmt.Sprintf("v%d engine=%s relabel=%s variant=%s schedule=%s repair=%t stitch=%t partitions=%d shards=%d stitchonly=%t verify=%t",
 		n.V, n.Engine, n.Relabel, n.Variant, n.Schedule, n.Repair, n.Stitch,
 		n.Partitions, n.Shards, n.ShardStitchOnly, n.Verify)
+	// The mode token appears only for stream specs — a scoped token, like
+	// the engine-specific fields below, so every pre-existing batch key
+	// stays byte-identical.
+	if n.Mode == ModeStream {
+		key += " mode=" + ModeStream
+	}
 	// Engine-specific identity fields appear only for the engine they
 	// parameterize, so keys of every pre-existing engine — and every
 	// persisted cache entry — are byte-identical to earlier releases.
@@ -351,6 +392,9 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 	s, err := s.Normalize()
 	if err != nil {
 		return nil, err
+	}
+	if s.Mode == ModeStream {
+		return nil, fmt.Errorf("chordal: stream-mode specs open sessions through OpenStream, not Run")
 	}
 	res := &PipelineResult{}
 	emit := func(ev Event) {
