@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -56,6 +57,8 @@ func main() {
 		engineOut = flag.String("engine-out", "BENCH_engines.json", "output path for the -engine-suite report")
 		streamRun = flag.Bool("stream-suite", false, "measure streaming-session admission throughput and repair-cadence amortization over the generator zoo, and write the JSON report")
 		streamOut = flag.String("stream-out", "BENCH_stream.json", "output path for the -stream-suite report")
+		extRun    = flag.Bool("external-suite", false, "run the out-of-core external engine over the generator zoo from temp .bin files (shards x resident grid), gate byte-identity against the in-memory sharded engine, and write the JSON report")
+		extOut    = flag.String("external-out", "BENCH_external.json", "output path for the -external-suite report")
 	)
 	flag.IntVar(&cfg.BioDownscale, "bio-downscale", cfg.BioDownscale, "bio network gene-count divisor (1 = paper size)")
 	flag.IntVar(&cfg.MaxProcs, "maxprocs", cfg.MaxProcs, "max workers in scaling sweeps (0 = GOMAXPROCS)")
@@ -94,6 +97,13 @@ func main() {
 	}
 	if *streamRun {
 		if err := streamBench(*streamOut, cfg.Trials); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *extRun {
+		if err := externalBench(*extOut, cfg.Trials); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -791,6 +801,200 @@ func streamBench(out string, trials int) error {
 	fmt.Printf("\nwrote %s\n", out)
 	if !rep.AllVerified {
 		return fmt.Errorf("stream suite: some sessions failed verification")
+	}
+	return nil
+}
+
+// externalRow is one cell of the external suite: a (source, shards,
+// resident) configuration of the out-of-core engine run from a .bin
+// file, with its fastest times, the fastest trial's IO accounting, and
+// the byte-identity gate against the in-memory sharded engine at the
+// same shard count.
+type externalRow struct {
+	Source   string `json:"source"`
+	Shards   int    `json:"shards"`
+	Resident int    `json:"resident"`
+	// ShardedMillis is the in-memory sharded engine's fastest
+	// extract-stage time at the same shard count; ExternalMillis the
+	// out-of-core extract stage on the temp .bin (open + decode +
+	// extract + merge included). Stage timings, not wall clock, so the
+	// verify and quality passes outside the engines do not distort the
+	// comparison.
+	ShardedMillis  float64 `json:"shardedMillis"`
+	ExternalMillis float64 `json:"externalMillis"`
+	// The IO accounting of the fastest external trial: whether the file
+	// was memory-mapped (false = buffered fallback), the byte volumes,
+	// the decoded-shard residency watermark, and the decode/kernel
+	// overlap the double buffer won.
+	Mapped            bool    `json:"mapped"`
+	BytesMapped       int64   `json:"bytesMapped"`
+	BytesRead         int64   `json:"bytesRead"`
+	SpillBytes        int64   `json:"spillBytes"`
+	PeakResidentBytes int64   `json:"peakResidentBytes"`
+	OverlapMillis     float64 `json:"overlapMillis"`
+	// ByteIdentical is the suite's gate: the external subgraph's edge
+	// hash must equal the sharded engine's at equal shards. Verified is
+	// the external run's own chordality check.
+	ByteIdentical bool   `json:"byteIdentical"`
+	Verified      bool   `json:"verified"`
+	ChordalEdges  int64  `json:"chordalEdges"`
+	EdgeHash      string `json:"edgeHash"`
+}
+
+// externalReport is the JSON record of one -external-suite run.
+type externalReport struct {
+	CPUs       int   `json:"cpus"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Trials     int   `json:"trials"`
+	Shards     []int `json:"shards"`
+	Residents  []int `json:"residents"`
+	// Sources is the zoo (the engine bake-off's); AllIdentical reports
+	// that every cell matched its sharded baseline and verified — the
+	// suite exits non-zero otherwise.
+	Sources      []string      `json:"sources"`
+	AllIdentical bool          `json:"allIdentical"`
+	Rows         []externalRow `json:"rows"`
+	Timestamp    string        `json:"timestamp"`
+}
+
+// extractMillis is the run's extract-stage duration in milliseconds —
+// the engine's own cost, excluding acquire, verify, and quality.
+func extractMillis(res *chordal.PipelineResult) float64 {
+	for _, st := range res.Timings {
+		if st.Stage == "extract" {
+			return float64(st.Duration.Microseconds()) / 1000
+		}
+	}
+	return 0
+}
+
+// graphHash is edgeHash over a graph's full edge list — the
+// byte-identity witness for merged subgraphs.
+func graphHash(g *chordal.Graph) string {
+	us, vs := g.EdgeList()
+	edges := make([]chordal.Edge, len(us))
+	for i := range us {
+		edges[i] = chordal.Edge{U: us[i], V: vs[i]}
+	}
+	return edgeHash(edges)
+}
+
+// externalBench runs the out-of-core suite: every zoo source is saved
+// to a temp .bin and extracted by the external engine straight from the
+// file (the no-acquire source path) across a shards x resident grid,
+// against the in-memory sharded engine at equal shard counts as both
+// the byte-identity gate and the timing baseline. Writes the JSON
+// report to out and exits non-zero if any cell diverges or fails
+// verification.
+func externalBench(out string, trials int) error {
+	if trials < 1 {
+		trials = 1
+	}
+	rep := externalReport{
+		CPUs:         runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Trials:       trials,
+		Shards:       []int{2, 4, 8},
+		Residents:    []int{2, 3},
+		Sources:      engineSources,
+		AllIdentical: true,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	dir, err := os.MkdirTemp("", "chordal-bench-ext-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+	fmt.Printf("external suite: %d sources x shards %v x resident %v on %d CPUs, best of %d trials\n",
+		len(rep.Sources), rep.Shards, rep.Residents, rep.CPUs, trials)
+	for si, source := range rep.Sources {
+		acq, err := chordal.Spec{Source: source, Engine: chordal.EngineNone}.Run()
+		if err != nil {
+			return err
+		}
+		g := acq.Input
+		bin := filepath.Join(dir, fmt.Sprintf("src%d.bin", si))
+		if err := chordal.SaveGraph(bin, g); err != nil {
+			return err
+		}
+		fmt.Printf("\n%s: %s (%d-byte .bin)\n", source, acq.InputStats, g.SizeBytes())
+		for _, shards := range rep.Shards {
+			// In-memory sharded baseline: the identity oracle and the
+			// cost of having the whole CSR resident.
+			baseSpec := chordal.Spec{
+				Engine:       chordal.EngineSharded,
+				EngineConfig: chordal.EngineConfig{Shards: shards},
+			}
+			var baseHash string
+			var baseMs float64
+			for t := 0; t < trials; t++ {
+				r, err := chordal.Runner{Input: g}.Run(ctx, baseSpec)
+				if err != nil {
+					return fmt.Errorf("sharded on %s: %w", source, err)
+				}
+				if ms := extractMillis(r); baseMs == 0 || ms < baseMs {
+					baseMs = ms
+					baseHash = graphHash(r.Subgraph)
+				}
+			}
+			for _, resident := range rep.Residents {
+				row := externalRow{Source: source, Shards: shards, Resident: resident, ShardedMillis: baseMs}
+				spec := chordal.Spec{
+					Source:       bin,
+					Engine:       chordal.EngineExternal,
+					EngineConfig: chordal.EngineConfig{Shards: shards, ResidentShards: resident},
+					Verify:       true,
+				}
+				var res *chordal.PipelineResult
+				for t := 0; t < trials; t++ {
+					r, err := spec.Run()
+					if err != nil {
+						return fmt.Errorf("external on %s: %w", source, err)
+					}
+					if ms := extractMillis(r); res == nil || ms < row.ExternalMillis {
+						res = r
+						row.ExternalMillis = ms
+					}
+				}
+				if ex := res.External; ex != nil {
+					row.Mapped = ex.Mapped
+					row.BytesMapped = ex.BytesMapped
+					row.BytesRead = ex.BytesRead
+					row.SpillBytes = ex.SpillBytes
+					row.PeakResidentBytes = ex.PeakResidentBytes
+					row.OverlapMillis = ex.OverlapMillis
+				}
+				row.Verified = res.Verified && res.ChordalOK
+				row.ChordalEdges = res.Subgraph.NumEdges()
+				row.EdgeHash = graphHash(res.Subgraph)
+				row.ByteIdentical = row.EdgeHash == baseHash
+				if !row.ByteIdentical || !row.Verified {
+					rep.AllIdentical = false
+				}
+				rep.Rows = append(rep.Rows, row)
+				status := "identical"
+				if !row.ByteIdentical {
+					status = "DIVERGED"
+				} else if !row.Verified {
+					status = "NOT CHORDAL"
+				}
+				fmt.Printf("  shards=%d resident=%d: sharded %9.3f ms, external %9.3f ms  peak ~%8d B  overlap %7.3f ms  %s\n",
+					shards, resident, row.ShardedMillis, row.ExternalMillis,
+					row.PeakResidentBytes, row.OverlapMillis, status)
+			}
+		}
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	if !rep.AllIdentical {
+		return fmt.Errorf("external suite: some cells diverged from the sharded baseline or failed verification")
 	}
 	return nil
 }

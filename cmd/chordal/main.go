@@ -10,6 +10,7 @@
 //	chordal -in graph.bin -out sub.bin -verify
 //	chordal -in rmat-g:16:7 -variant unopt -schedule async -workers 8
 //	chordal -in rmat-g:18:7 -shards 8 -verify   # sharded engine
+//	chordal -in big.bin -engine external -shards 8 -verify  # out-of-core from the .bin, never loaded whole
 //	chordal -in graph.txt -serial               # Dearing et al. baseline
 //	chordal -in rmat-er:12 -json                # machine-readable report
 //	chordal -batch suite.txt -verify -json      # every source in a manifest
@@ -64,6 +65,8 @@ func main() {
 		parts       = flag.Int("partition", 0, "use the distributed-style partitioned engine with this many partitions (plus cycle cleanup)")
 		shards      = flag.Int("shards", 0, "use the sharded engine with this many vertex-range shards (border edges reconciled chordality-preserving)")
 		stitchOnly  = flag.Bool("shard-stitch-only", false, "with -shards: reconcile border edges by spanning stitch only")
+		resident    = flag.Int("resident-shards", 0, "with -engine external: max shards resident in memory at once (0 = 2, the double-buffer minimum)")
+		maxDeferred = flag.Int("max-deferred", 0, "with -stream: bound on the deferred-edge queue; excess deltas drop with an overflow event (0 = unbounded)")
 		startV      = flag.Int("start", 0, "with -engine dearing: start vertex the incremental extraction grows from")
 		order       = flag.String("order", "", "with -engine elimination: elimination ordering, natural|mindeg (default mindeg)")
 		repair      = flag.Bool("repair", false, "run the maximality repair post-pass")
@@ -98,6 +101,8 @@ func main() {
 			Partitions:      *parts,
 			Shards:          *shards,
 			ShardStitchOnly: *stitchOnly,
+			ResidentShards:  *resident,
+			MaxDeferred:     *maxDeferred,
 			Start:           *startV,
 			Order:           *order,
 		},
@@ -188,6 +193,27 @@ func main() {
 		fmt.Printf("sharded (%d shards): %d interior + %d stitched (%d border bridges) + %d border-admitted + %d repaired = %d edges\n",
 			sh.Shards, sh.InteriorEdges, sh.StitchedEdges, sh.BorderBridges, sh.BorderAdmitted,
 			sh.RepairedEdges, res.Subgraph.NumEdges())
+		if *iters {
+			fmt.Printf("%6s %12s %12s\n", "shard", "iters", "edges")
+			for i, it := range sh.PerShardIterations {
+				fmt.Printf("%6d %12d %12d\n", i, it, sh.PerShardEdges[i])
+			}
+		}
+		if !sh.Chordal {
+			fail(fmt.Errorf("shard reconciliation self-check FAILED: merged subgraph not chordal"))
+		}
+	case chordal.EngineExternal:
+		sh, ex := res.Shard, res.External
+		fmt.Printf("external (%d shards, %d resident): %d interior + %d stitched (%d border bridges) + %d border-admitted = %d edges, edge cut %d (%.1f%%)\n",
+			sh.Shards, ex.ResidentShards, sh.InteriorEdges, sh.StitchedEdges, sh.BorderBridges,
+			sh.BorderAdmitted, res.Subgraph.NumEdges(), sh.EdgeCut, sh.EdgeCutPct)
+		mode := "buffered reads"
+		if ex.Mapped {
+			mode = "mmap"
+		}
+		fmt.Printf("io (%s): %d bytes mapped, %d read, %d spilled; peak resident ~%d bytes; decode %.1fms, kernels %.1fms, overlap %.1fms\n",
+			mode, ex.BytesMapped, ex.BytesRead, ex.SpillBytes, ex.PeakResidentBytes,
+			ex.DecodeMillis, ex.KernelMillis, ex.OverlapMillis)
 		if *iters {
 			fmt.Printf("%6s %12s %12s\n", "shard", "iters", "edges")
 			for i, it := range sh.PerShardIterations {

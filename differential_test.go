@@ -36,6 +36,7 @@ func differentialEngines() []struct {
 		{"serial", chordal.Spec{Engine: chordal.EngineSerial}},
 		{"partitioned", chordal.Spec{Engine: chordal.EnginePartitioned, EngineConfig: chordal.EngineConfig{Partitions: 4}}},
 		{"sharded", chordal.Spec{Engine: chordal.EngineSharded, EngineConfig: chordal.EngineConfig{Shards: 3}}},
+		{"external", chordal.Spec{Engine: chordal.EngineExternal, EngineConfig: chordal.EngineConfig{Shards: 3, ResidentShards: 2}}},
 		{"dearing", chordal.Spec{Engine: chordal.EngineDearing}},
 		{"dearing-start7", chordal.Spec{Engine: chordal.EngineDearing, EngineConfig: chordal.EngineConfig{Start: 7}}},
 		{"elimination-mindeg", chordal.Spec{Engine: chordal.EngineElimination, EngineConfig: chordal.EngineConfig{Order: chordal.OrderMinDegree}}},

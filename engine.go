@@ -52,6 +52,15 @@ const (
 	// natural or greedy minimum-degree ordering). The result is chordal
 	// by construction but not necessarily maximal.
 	EngineElimination = "elimination"
+	// EngineExternal runs the out-of-core disk-shard driver
+	// (internal/extio): the input's binary CSR is mmap'd and decoded per
+	// vertex-range shard on demand, at most ResidentShards shards are
+	// held in memory, and per-shard edges spill to a temp file before the
+	// border reconciliation. Byte-identical to EngineSharded at equal
+	// shard counts; requires Shards >= 1. With a .bin file source the
+	// Runner skips the acquire stage entirely (see SourceEngine); other
+	// inputs are spilled to a temp .bin first.
+	EngineExternal = "external"
 	// EngineNone is not a registered Engine: it marks a Spec that stops
 	// after acquire/relabel (and optional write), extracting nothing.
 	EngineNone = "none"
@@ -85,9 +94,16 @@ type EngineResult struct {
 	Dearing *DearingSummary
 	// Elimination summarizes the elimination engine run, when used.
 	Elimination *EliminationSummary
+	// External summarizes the out-of-core engine's IO behavior, when
+	// used (alongside Shard, which carries the reconciliation counters).
+	External *ExternalSummary
 	// Tuning is the resolved kernel tuning of the run; nil for engines
 	// that do not use the tunable kernels (serial, partitioned).
 	Tuning *Tuning
+	// InputStats, when non-nil, carries the input's Table-I statistics
+	// computed by a SourceEngine from the file itself — the substitute
+	// for ComputeStats when no input graph is ever resident.
+	InputStats *Stats
 }
 
 // Engine is one extraction strategy. Implementations must be safe for
@@ -99,6 +115,21 @@ type Engine interface {
 	// observed at the engine's natural boundaries; cfg carries the
 	// declarative parameters plus the run's Observer.
 	Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*EngineResult, error)
+}
+
+// SourceEngine is an Engine that can extract directly from a source
+// file without the input graph ever being materialized in memory. The
+// Runner takes this path when the selected engine implements it and the
+// spec's source is a binary-CSR file path: the acquire stage is skipped
+// and the engine owns all input IO. PipelineResult.Input stays nil on
+// this path (InputStats is filled from EngineResult.InputStats), which
+// also disables the stages that need a resident input — the maximality
+// audit and quality metrics.
+type SourceEngine interface {
+	Engine
+	// ExtractSource runs the strategy against the graph stored at path
+	// (binary CSR format) under ctx.
+	ExtractSource(ctx context.Context, path string, cfg EngineConfig) (*EngineResult, error)
 }
 
 var (
@@ -150,6 +181,7 @@ func init() {
 	RegisterEngine(shardedEngine{})
 	RegisterEngine(dearingEngine{})
 	RegisterEngine(eliminationEngine{})
+	RegisterEngine(externalEngine{})
 }
 
 // resolveTuning fills the kernel tuning of opts in place and returns
@@ -160,6 +192,13 @@ func init() {
 // workload (clamped to local parallelism — on small inputs the model
 // knows that extra cores only add barrier cost).
 func resolveTuning(opts *Options, g *Graph) Tuning {
+	return resolveTuningStats(opts, g.MaxDegree(), g.NumVertices(), g.NumEdges())
+}
+
+// resolveTuningStats is resolveTuning from the input's degree summary
+// alone — the form the out-of-core engine uses, where no input graph is
+// resident and the summary comes from one pass over the file's offsets.
+func resolveTuningStats(opts *Options, maxDegree, numVertices int, numEdges int64) Tuning {
 	prof := tune.Current()
 	t := Tuning{Source: prof.Source}
 	if opts.Grain <= 0 {
@@ -172,14 +211,14 @@ func resolveTuning(opts *Options, g *Graph) Tuning {
 		// degree summary: hub-free and uniformly dense graphs disable
 		// the hybrid probe (-1) because its amortization cannot win
 		// there (see tune.ThresholdFor).
-		opts.DegreeThreshold = prof.ThresholdFor(g.MaxDegree(), g.NumVertices(), g.NumEdges())
+		opts.DegreeThreshold = prof.ThresholdFor(maxDegree, numVertices, numEdges)
 	} else {
 		t.Source = "spec"
 	}
 	t.Grain = opts.Grain
 	t.DegreeThreshold = opts.DegreeThreshold
 	if opts.Workers <= 0 {
-		w, model := tune.Width(tune.EstimateTrace(g.NumVertices(), g.NumEdges()), 0)
+		w, model := tune.Width(tune.EstimateTrace(numVertices, numEdges), 0)
 		opts.Workers = w
 		t.WidthModel = model
 	}
@@ -358,19 +397,34 @@ func (shardedEngine) Extract(ctx context.Context, g *Graph, cfg EngineConfig) (*
 	if err != nil {
 		return nil, err
 	}
+	sum := newShardSummary(r, g.NumEdges())
+	return &EngineResult{Subgraph: r.Subgraph, Shard: sum, Tuning: &tun}, nil
+}
+
+// newShardSummary maps a shard.Result onto the report summary shared by
+// the sharded and external engines. The edge cut equals the
+// reconciliation pass's border count (both count edges crossing the
+// contiguous-range partition — partition.CutEdges is the standalone
+// definition, pinned equal by test), expressed also as a fraction of
+// the input's edges so partition quality is comparable across inputs.
+func newShardSummary(r *shard.Result, inputEdges int64) *ShardSummary {
 	sum := &ShardSummary{
 		Shards:         len(r.Shards),
 		BorderTotal:    r.BorderTotal,
+		EdgeCut:        int64(r.BorderTotal),
 		StitchedEdges:  r.StitchedEdges,
 		BorderBridges:  r.BorderBridges,
 		BorderAdmitted: r.BorderAdmitted,
 		RepairedEdges:  r.RepairedEdges,
 		Chordal:        r.Chordal,
 	}
+	if inputEdges > 0 {
+		sum.EdgeCutPct = 100 * float64(sum.EdgeCut) / float64(inputEdges)
+	}
 	for _, st := range r.Shards {
 		sum.PerShardIterations = append(sum.PerShardIterations, st.Iterations)
 		sum.PerShardEdges = append(sum.PerShardEdges, st.ChordalEdges)
 		sum.InteriorEdges += st.ChordalEdges
 	}
-	return &EngineResult{Subgraph: r.Subgraph, Shard: sum, Tuning: &tun}, nil
+	return sum
 }

@@ -39,7 +39,9 @@ const (
 	EventAdmit EventType = "admit"
 	// EventDefer carries one stream delta that did not join the
 	// maintained subgraph: rejected for now ("deferred", queued for
-	// Repair), already present ("present"), or malformed ("invalid").
+	// Repair), already present ("present"), malformed ("invalid"), or
+	// dropped because the deferred queue hit the spec's MaxDeferred
+	// bound ("overflow" — never retested).
 	EventDefer EventType = "defer"
 	// EventRepair summarizes one repair pass over the deferred queue;
 	// Repaired counts the edges it admitted (each also announced by its
@@ -184,7 +186,7 @@ type StreamDelta struct {
 	// Accepted reports whether the edge joined the maintained subgraph.
 	Accepted bool `json:"accepted"`
 	// Reason is the admission kernel's ruling: admitted, bridge,
-	// repaired, deferred, present, or invalid.
+	// repaired, deferred, present, invalid, or overflow.
 	Reason string `json:"reason"`
 }
 

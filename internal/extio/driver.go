@@ -1,0 +1,358 @@
+package extio
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chordal/internal/core"
+	"chordal/internal/graph"
+	"chordal/internal/parallel"
+	"chordal/internal/partition"
+	"chordal/internal/shard"
+)
+
+// Options configures an out-of-core extraction. The semantics-affecting
+// fields (Shards, StitchOnly, Repair, Core's schedule/threshold) mirror
+// shard.Options exactly — at equal values the merged edge set is
+// byte-identical to the in-memory sharded engine. Resident and the
+// worker split are speed-only.
+type Options struct {
+	// Shards is the number of contiguous vertex-range shards, clamped to
+	// [1, NumVertices] like shard.Options.Shards.
+	Shards int
+	// Resident bounds how many decoded shards are held in memory at
+	// once: the one being extracted plus up to Resident-1 prefetched by
+	// the IO lane. <= 0 defaults to 2, the minimum that overlaps decode
+	// with extraction; 1 disables prefetch entirely.
+	Resident int
+	// Core configures the per-shard kernels; Core.Workers is the total
+	// budget, split one lease for IO and the rest for the kernels.
+	Core core.Options
+	// StitchOnly and Repair select the reconciliation depth, exactly as
+	// in shard.Options.
+	StitchOnly bool
+	Repair     bool
+	// OnShardIteration receives each shard kernel's iteration
+	// statistics; shards extract one at a time here, so unlike the
+	// in-memory sharded engine it is never invoked concurrently.
+	OnShardIteration func(shard int, it core.IterationStats)
+	// SpillDir is the directory for the per-shard edge spill file; empty
+	// means os.TempDir.
+	SpillDir string
+}
+
+// IOStats reports the IO behavior of one out-of-core run — the numbers
+// the external engine surfaces through the run report.
+type IOStats struct {
+	// Mapped reports whether the input was memory-mapped (false: the
+	// buffered ReadAt fallback served every decode).
+	Mapped bool
+	// BytesMapped is the input file size when Mapped, else 0.
+	BytesMapped int64
+	// BytesRead is the total bytes decoded from the input across shard
+	// decodes, the edge-stream reconciliation passes, and stats.
+	BytesRead int64
+	// SpillBytes is the size of the per-shard edge spill file.
+	SpillBytes int64
+	// PeakResident estimates the high-water mark of decoded shard CSR
+	// bytes held at once — the quantity Resident bounds.
+	PeakResident int64
+	// Shards and Resident echo the clamped shard count and residency
+	// bound the run used.
+	Shards   int
+	Resident int
+	// DecodeTime and KernelTime are the summed shard decode and kernel
+	// wall-clock times; Overlap is how much of DecodeTime the
+	// double-buffer hid behind KernelTime (decode+kernel minus the
+	// phase's wall-clock, clamped at 0).
+	DecodeTime time.Duration
+	KernelTime time.Duration
+	Overlap    time.Duration
+}
+
+// Result is a sharded-extraction result plus the IO statistics of the
+// out-of-core run that produced it.
+type Result struct {
+	shard.Result
+	IO IOStats
+}
+
+// decoded is one shard handed from the IO lane to the kernel lane.
+type decoded struct {
+	p      int
+	lo     int32
+	sub    *graph.Graph
+	decode time.Duration
+	err    error
+}
+
+// Extract runs the disk-shard driver on m: decode contiguous
+// vertex-range shards (at most opts.Resident resident, shard N+1's
+// decode overlapping shard N's extraction), run the internal/shard
+// per-shard kernel on each, spill per-shard subgraph edges to a temp
+// file, then merge and reconcile borders streaming the input's edges
+// from disk. The merged edge set is byte-identical to
+// shard.ExtractContext on the same graph at equal shard counts.
+func Extract(ctx context.Context, m *MappedCSR, opts Options) (*Result, error) {
+	start := time.Now()
+	startRead := m.BytesRead()
+	n := m.NumVertices()
+	parts := 1
+	if n > 0 {
+		parts = partition.ClampParts(n, opts.Shards)
+	}
+	workers := parallel.WorkerCount(opts.Core.Workers)
+	resident := opts.Resident
+	if resident <= 0 {
+		resident = 2
+	}
+
+	res := &Result{Result: shard.Result{NumVertices: n, Shards: make([]shard.ShardStat, parts)}}
+	res.IO = IOStats{Mapped: m.Mapped(), Shards: parts, Resident: resident}
+	if m.Mapped() {
+		res.IO.BytesMapped = m.SizeBytes()
+	}
+
+	// runShard mirrors shard.ExtractContext's per-shard option
+	// discipline exactly (post-passes off, events off) — the kernels
+	// must behave identically for the differential byte-identity proof.
+	runShard := func(p int, sub *graph.Graph, lo int32, kernelWorkers int) ([]core.Edge, error) {
+		co := opts.Core
+		co.Workers = kernelWorkers
+		co.RepairMaximality = false
+		co.StitchComponents = false
+		co.OnEvent = nil
+		co.OnIteration = nil
+		if opts.OnShardIteration != nil {
+			co.OnIteration = func(it core.IterationStats) { opts.OnShardIteration(p, it) }
+		}
+		kt := time.Now()
+		r, err := core.ExtractContext(ctx, sub, co)
+		res.IO.KernelTime += time.Since(kt)
+		if err != nil {
+			return nil, err
+		}
+		edges := make([]core.Edge, len(r.Edges))
+		for i, e := range r.Edges {
+			edges[i] = core.Edge{U: lo + e.U, V: lo + e.V}
+		}
+		res.Shards[p] = shard.ShardStat{
+			Shard:         p,
+			Vertices:      sub.NumVertices(),
+			InteriorEdges: sub.NumEdges(),
+			ChordalEdges:  len(r.Edges),
+			Iterations:    len(r.Iterations),
+			Duration:      r.Total,
+		}
+		return edges, nil
+	}
+
+	if parts == 1 {
+		// One shard: nothing to stream or spill. Decode the whole graph
+		// and run the kernel directly, like the in-memory engine's
+		// single-shard path (which skips the induced-subgraph copy).
+		dt := time.Now()
+		g, err := m.Graph()
+		if err != nil {
+			return nil, err
+		}
+		res.IO.DecodeTime = time.Since(dt)
+		res.IO.PeakResident = g.SizeBytes()
+		edges, err := runShard(0, g, 0, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Edges = edges
+	} else {
+		if err := extractStreaming(ctx, m, res, parts, resident, workers, runShard, opts.SpillDir); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sOpts := shard.Options{Shards: parts, Core: opts.Core, StitchOnly: opts.StitchOnly, Repair: opts.Repair}
+	if err := res.Reconcile(ctx, m.Edges, parts, sOpts); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Finalize(opts.Core.Workers)
+	res.IO.BytesRead = m.BytesRead() - startRead
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// extractStreaming is the multi-shard lane split: one goroutine (the IO
+// lease) decodes shards in index order into a channel whose capacity
+// enforces the residency bound, while the caller's goroutine runs the
+// kernels with the remaining workers and spills each shard's edges.
+func extractStreaming(ctx context.Context, m *MappedCSR, res *Result, parts, resident, workers int,
+	runShard func(int, *graph.Graph, int32, int) ([]core.Edge, error), spillDir string) error {
+	n := res.NumVertices
+	// One parallel lease goes to the IO lane; the kernels get the rest.
+	kernelWorkers := max(workers-1, 1)
+
+	sp, err := newSpill(spillDir)
+	if err != nil {
+		return err
+	}
+	defer sp.close()
+
+	// ioCtx releases a blocked IO lane if the kernel lane bails early.
+	ioCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Capacity resident-1: the channel buffer plus the shard the kernel
+	// lane holds bound the decoded shards in flight to `resident`. (The
+	// IO lane's in-progress decode transiently adds one more.)
+	ch := make(chan decoded, resident-1)
+	go func() {
+		defer close(ch)
+		for p := 0; p < parts; p++ {
+			if ioCtx.Err() != nil {
+				return
+			}
+			lo, hi := partition.Bounds(n, parts, p)
+			dt := time.Now()
+			sub, err := m.Shard(lo, hi)
+			d := decoded{p: p, lo: lo, sub: sub, decode: time.Since(dt), err: err}
+			select {
+			case ch <- d:
+				if err != nil {
+					return
+				}
+			case <-ioCtx.Done():
+				return
+			}
+		}
+	}()
+
+	phase := time.Now()
+	var residentBytes, peak int64
+	for d := range ch {
+		if d.err != nil {
+			return d.err
+		}
+		if err := ctx.Err(); err != nil {
+			cancel()
+			for range ch { // drain so the IO goroutine exits
+			}
+			return err
+		}
+		res.IO.DecodeTime += d.decode
+		// Watermark: this shard plus whatever the IO lane has buffered.
+		residentBytes = d.sub.SizeBytes() * int64(len(ch)+1)
+		if residentBytes > peak {
+			peak = residentBytes
+		}
+		edges, err := runShard(d.p, d.sub, d.lo, kernelWorkers)
+		if err != nil {
+			cancel()
+			for range ch {
+			}
+			return err
+		}
+		// Evict: drop the decoded adjacency (the loop variable is the
+		// only reference) and spill the extracted edges to disk instead
+		// of accumulating them on the heap.
+		if err := sp.write(edges); err != nil {
+			cancel()
+			for range ch {
+			}
+			return err
+		}
+	}
+	wall := time.Since(phase)
+	if hidden := res.IO.DecodeTime + res.IO.KernelTime - wall; hidden > 0 {
+		res.IO.Overlap = hidden
+	}
+	res.IO.PeakResident = peak
+	res.IO.SpillBytes = sp.bytes
+
+	// The IO lane produced shards in index order and the kernel lane
+	// consumed them in arrival order, so the spill file already holds
+	// the per-shard edge sets in shard index order — the same merge
+	// order shard.ExtractContext uses.
+	merged, err := sp.readAll()
+	if err != nil {
+		return err
+	}
+	res.Edges = merged
+	return nil
+}
+
+// spill is the temp file holding extracted per-shard edges: raw
+// little-endian (u, v) int32 pairs appended in shard index order.
+type spill struct {
+	f     *os.File
+	bw    *bufio.Writer
+	bytes int64
+	count int
+}
+
+func newSpill(dir string) (*spill, error) {
+	f, err := os.CreateTemp(dir, "chordal-spill-*.edges")
+	if err != nil {
+		return nil, fmt.Errorf("extio: creating spill file: %w", err)
+	}
+	return &spill{f: f, bw: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+func (s *spill) write(edges []core.Edge) error {
+	var rec [8]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.U))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.V))
+		if _, err := s.bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("extio: writing spill: %w", err)
+		}
+	}
+	s.bytes += int64(len(edges)) * 8
+	s.count += len(edges)
+	return nil
+}
+
+// readAll flushes the writer and reads the whole spill back as one edge
+// slice — the merge of the per-shard edge sets in write order.
+func (s *spill) readAll() ([]core.Edge, error) {
+	if err := s.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("extio: flushing spill: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	edges := make([]core.Edge, 0, s.count)
+	br := bufio.NewReaderSize(s.f, 1<<20)
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("extio: reading spill: %w", err)
+		}
+		edges = append(edges, core.Edge{
+			U: int32(binary.LittleEndian.Uint32(rec[0:4])),
+			V: int32(binary.LittleEndian.Uint32(rec[4:8])),
+		})
+	}
+	if len(edges) != s.count {
+		return nil, fmt.Errorf("extio: spill holds %d edges, wrote %d", len(edges), s.count)
+	}
+	return edges, nil
+}
+
+// close removes the spill file; safe to call after any failure point.
+func (s *spill) close() {
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package extio
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap reports that this platform has no mapping path; Open falls
+// back to the buffered ReadAt reader.
+var errNoMmap = errors.New("extio: memory mapping unavailable on this platform")
+
+// mapFile always fails on non-unix platforms; callers fall back to
+// buffered reads.
+func mapFile(_ *os.File, _ int64) ([]byte, error) { return nil, errNoMmap }
+
+// unmapFile is never reached on non-unix platforms (mapFile never
+// returns a mapping).
+func unmapFile(_ []byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package extio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole file read-only. The pages are file-backed, so
+// they live outside the Go heap and the OS reclaims them under memory
+// pressure — the property the out-of-core GOMEMLIMIT proof rests on.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapping returned by mapFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

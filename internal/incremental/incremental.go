@@ -57,6 +57,10 @@ const (
 	ReasonDeferred Reason = "deferred"
 	// ReasonInvalid: a self loop or an endpoint outside the universe.
 	ReasonInvalid Reason = "invalid"
+	// ReasonOverflow: the separator criterion rejected the edge and the
+	// deferred queue is at its SetMaxDeferred bound, so the edge was
+	// dropped instead of queued — it will never be retested by Repair.
+	ReasonOverflow Reason = "overflow"
 )
 
 // Checker is the reusable scratch state of the separator checks: epoch
@@ -208,8 +212,13 @@ type Maintainer struct {
 	// inDeferred dedups the queue so a delta stream that repeats a
 	// rejected edge cannot grow it without bound.
 	inDeferred map[int64]struct{}
-	edges      int
-	threshold  int
+	// maxDeferred caps the queue's length (0 = unbounded): dedup alone
+	// cannot stop a hostile stream of all-distinct inadmissible edges
+	// from growing the queue linearly, so once the cap is reached new
+	// rejections are dropped with ReasonOverflow instead of queued.
+	maxDeferred int
+	edges       int
+	threshold   int
 }
 
 // New returns a Maintainer over an empty subgraph of n vertices.
@@ -251,6 +260,19 @@ func (m *Maintainer) EdgeCount() int { return m.edges }
 
 // DeferredCount returns the number of rejected edges queued for Repair.
 func (m *Maintainer) DeferredCount() int { return len(m.deferred) }
+
+// SetMaxDeferred bounds the deferred queue to at most n edges (n <= 0
+// means unbounded, the default). When the queue is full, Admit returns
+// (false, ReasonOverflow) for a newly rejected edge and drops it — the
+// memory-safety trade on adversarial streams: a dropped edge is gone
+// and will not be reconsidered by later Repair passes. Lowering the
+// bound does not evict edges already queued.
+func (m *Maintainer) SetMaxDeferred(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.maxDeferred = n
+}
 
 // DeferredEdges returns a copy of the deferred queue in queue order.
 // Together with EdgeList it reconstructs every distinct valid edge ever
@@ -347,6 +369,9 @@ func (m *Maintainer) admit(u, v int32, deferOnReject bool) (bool, Reason) {
 		if deferOnReject {
 			key := int64(u)<<32 | int64(v)
 			if _, dup := m.inDeferred[key]; !dup {
+				if m.maxDeferred > 0 && len(m.deferred) >= m.maxDeferred {
+					return false, ReasonOverflow
+				}
 				m.inDeferred[key] = struct{}{}
 				m.deferred = append(m.deferred, Edge{U: u, V: v})
 			}

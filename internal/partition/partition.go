@@ -81,6 +81,31 @@ func Bounds(n, parts, p int) (lo, hi int32) {
 	return int32(int64(p) * int64(n) / int64(parts)), int32(int64(p+1) * int64(n) / int64(parts))
 }
 
+// CutEdges counts the edges of g crossing parts under the PartOf
+// assignment — the border edges every kernel skips and the
+// reconciliation pass must examine. It is the per-run measure of how
+// much a contiguous-range partition costs (and what a smarter
+// edge-cut-minimizing partitioner would shrink); sharded runs surface
+// it as ShardSummary.EdgeCut. parts <= 1 has no borders and returns 0.
+func CutEdges(g *graph.Graph, parts int) int64 {
+	n := g.NumVertices()
+	if n == 0 || parts <= 1 {
+		return 0
+	}
+	parts = ClampParts(n, parts)
+	if parts == 1 {
+		return 0
+	}
+	partOf := PartOf(n, parts)
+	var cut int64
+	g.Edges(func(u, v int32) {
+		if partOf(u) != partOf(v) {
+			cut++
+		}
+	})
+	return cut
+}
+
 // Extract partitions g into parts contiguous vertex ranges, extracts a
 // maximal chordal subgraph inside each range concurrently with the
 // serial baseline, then admits border edges that form a triangle with

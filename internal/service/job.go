@@ -59,6 +59,15 @@ type Metrics struct {
 	BorderTotal         int `json:"borderTotal,omitempty"`
 	StitchedBorderEdges int `json:"stitchedBorderEdges,omitempty"`
 	BorderAdmitted      int `json:"borderAdmitted,omitempty"`
+	// EdgeCut is the number of input edges crossing the shard
+	// partition (equal to BorderTotal, typed for the report) and
+	// EdgeCutPct its percentage of the input edges; shard jobs only.
+	EdgeCut    int64   `json:"edgeCut,omitempty"`
+	EdgeCutPct float64 `json:"edgeCutPct,omitempty"`
+	// External carries the out-of-core engine's IO accounting (bytes
+	// mapped/read/spilled, peak resident estimate, decode/kernel
+	// overlap); nil for in-memory engines.
+	External *chordal.ExternalSummary `json:"external,omitempty"`
 	// Variant and Schedule are the code path and test-ordering
 	// discipline actually used.
 	Variant  string `json:"variant"`
@@ -326,7 +335,10 @@ func buildMetrics(res *chordal.PipelineResult, workers int, extra []StageMillis)
 		m.StitchedBorderEdges = sh.BorderBridges
 		m.BorderAdmitted = sh.BorderAdmitted
 		m.RepairedEdges = sh.RepairedEdges
+		m.EdgeCut = sh.EdgeCut
+		m.EdgeCutPct = sh.EdgeCutPct
 	}
+	m.External = res.External
 	if res.Verified {
 		ok := res.ChordalOK
 		m.Chordal = &ok

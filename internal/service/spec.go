@@ -66,6 +66,15 @@ type JobOptions struct {
 	// stitch. Ignored (and canonicalized away) unless the sharded
 	// engine runs.
 	ShardStitchOnly bool `json:"shardStitchOnly,omitempty"`
+	// ResidentShards bounds how many decoded shards the external
+	// engine holds in memory at once (default 2, the double-buffer
+	// minimum). A residency knob, not identity: it never splits the
+	// canonical job key.
+	ResidentShards int `json:"residentShards,omitempty"`
+	// MaxDeferred bounds a stream session's deferred-edge queue;
+	// deltas past the bound drop with an overflow event. 0 (default)
+	// is unbounded; rejected outside stream mode.
+	MaxDeferred int `json:"maxDeferred,omitempty"`
 	// Start is the dearing engine's start vertex; setting it non-zero
 	// with any other engine is rejected.
 	Start int `json:"start,omitempty"`
@@ -106,6 +115,8 @@ func (o JobOptions) rawSpec(source string) chordal.Spec {
 			Partitions:      o.Partitions,
 			Shards:          o.Shards,
 			ShardStitchOnly: o.ShardStitchOnly,
+			ResidentShards:  o.ResidentShards,
+			MaxDeferred:     o.MaxDeferred,
 			Start:           o.Start,
 			Order:           o.Order,
 		},

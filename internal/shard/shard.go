@@ -134,6 +134,23 @@ type Result struct {
 // NumChordalEdges returns the merged chordal edge count.
 func (r *Result) NumChordalEdges() int { return len(r.Edges) }
 
+// EdgeStream iterates every undirected input edge exactly once as
+// (u, v) with u < v, in ascending-u, adjacency-position order — the
+// order graph.Graph.Edges produces. Reconcile's admission sequence (and
+// therefore the merged edge set) is a function of this order, so any
+// alternative input representation (extio's disk-backed CSR) must
+// reproduce it exactly to stay byte-identical with the in-memory path.
+// A stream may be consumed more than once and must replay identically.
+type EdgeStream func(fn func(u, v int32)) error
+
+// GraphEdges adapts an in-memory graph to an EdgeStream.
+func GraphEdges(g *graph.Graph) EdgeStream {
+	return func(fn func(u, v int32)) error {
+		g.Edges(fn)
+		return nil
+	}
+}
+
 // Extract runs a sharded extraction with a background context.
 func Extract(g *graph.Graph, opts Options) (*Result, error) {
 	return ExtractContext(context.Background(), g, opts)
@@ -252,27 +269,25 @@ func ExtractContext(ctx context.Context, g *graph.Graph, opts Options) (*Result,
 		return nil, err
 	}
 
-	res.reconcile(ctx, g, parts, opts)
+	if err := res.Reconcile(ctx, GraphEdges(g), parts, opts); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	sortEdges(res.Edges)
-	us := make([]int32, len(res.Edges))
-	vs := make([]int32, len(res.Edges))
-	for i, e := range res.Edges {
-		us[i], vs[i] = e.U, e.V
-	}
-	res.Subgraph = graph.SubgraphFromEdgesWorkers(n, us, vs, opts.Core.Workers)
-	res.Chordal = verify.IsChordal(res.Subgraph)
+	res.Finalize(opts.Core.Workers)
 	res.Total = time.Since(start)
 	return res, nil
 }
 
-// reconcile performs the border passes: spanning stitch, optional exact
+// Reconcile performs the border passes: spanning stitch, optional exact
 // border admission, and the optional full repair. It appends to
-// res.Edges and fills the border counters.
-func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opts Options) {
+// res.Edges and fills the border counters. The per-shard edge sets must
+// already be merged into res.Edges in shard index order. An error from
+// the edge stream is returned as-is; cancellation aborts silently and is
+// surfaced by the caller's own ctx check, as before the stream refactor.
+func (res *Result) Reconcile(ctx context.Context, edges EdgeStream, parts int, opts Options) error {
 	n := res.NumVertices
 	partOf := partition.PartOf(n, max(parts, 1))
 
@@ -285,7 +300,7 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 		uf.Union(e.U, e.V)
 	}
 	var deferred []core.Edge
-	g.Edges(func(u, v int32) {
+	err := edges(func(u, v int32) {
 		border := parts > 1 && partOf(u) != partOf(v)
 		if border {
 			res.BorderTotal++
@@ -303,12 +318,15 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 			deferred = append(deferred, core.Edge{U: u, V: v})
 		}
 	})
+	if err != nil {
+		return err
+	}
 
 	if opts.StitchOnly && !opts.Repair {
-		return
+		return nil
 	}
 	if ctx.Err() != nil {
-		return
+		return nil
 	}
 
 	// Passes 2 and 3 delegate admission to incremental.Maintainer — the
@@ -333,7 +351,7 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 	if !opts.StitchOnly {
 		for i, e := range deferred {
 			if i%256 == 0 && ctx.Err() != nil {
-				return
+				return nil
 			}
 			if ok, _ := m.Admit(e.U, e.V); ok {
 				res.Edges = append(res.Edges, e)
@@ -347,9 +365,9 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 	// graph defers every inadmissible absent edge in scan order, then
 	// the maintainer retests the queue until a pass admits nothing.
 	if opts.Repair {
-		m.ResetDeferred() // rebuild the queue in g.Edges scan order
+		m.ResetDeferred() // rebuild the queue in edge-stream scan order
 		scanned, aborted := 0, false
-		g.Edges(func(u, v int32) {
+		err := edges(func(u, v int32) {
 			if aborted {
 				return
 			}
@@ -362,8 +380,11 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 				res.RepairedEdges++
 			}
 		})
+		if err != nil {
+			return err
+		}
 		if aborted {
-			return
+			return nil
 		}
 		admitted, _ := m.RepairContext(ctx) // ctx error rechecked by the caller
 		for _, e := range admitted {
@@ -371,6 +392,22 @@ func (res *Result) reconcile(ctx context.Context, g *graph.Graph, parts int, opt
 			res.RepairedEdges++
 		}
 	}
+	return nil
+}
+
+// Finalize sorts the merged edge set into the canonical (U, V) order,
+// materializes Subgraph within the given worker bound, and runs the
+// chordality self-check. Callers that assemble a Result outside
+// ExtractContext (the out-of-core driver) call it after Reconcile.
+func (res *Result) Finalize(workers int) {
+	sortEdges(res.Edges)
+	us := make([]int32, len(res.Edges))
+	vs := make([]int32, len(res.Edges))
+	for i, e := range res.Edges {
+		us[i], vs[i] = e.U, e.V
+	}
+	res.Subgraph = graph.SubgraphFromEdgesWorkers(res.NumVertices, us, vs, workers)
+	res.Chordal = verify.IsChordal(res.Subgraph)
 }
 
 // sortEdges orders edges by (U, V), the canonical order every

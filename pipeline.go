@@ -181,9 +181,46 @@ type ShardSummary struct {
 	BorderBridges  int `json:"borderBridges"`
 	BorderAdmitted int `json:"borderAdmitted"`
 	RepairedEdges  int `json:"repairedEdges"`
+	// EdgeCut is the number of input edges crossing the contiguous-range
+	// partition (partition.CutEdges; equal to BorderTotal, typed for the
+	// report), and EdgeCutPct the same as a percentage of the input's
+	// edges — the border-reconciliation cost a smarter partitioner would
+	// shrink.
+	EdgeCut    int64   `json:"edgeCut"`
+	EdgeCutPct float64 `json:"edgeCutPct"`
 	// Chordal is the shard stage's own verification of the merged
 	// subgraph (always expected true; a self-check of reconciliation).
 	Chordal bool `json:"chordal"`
+}
+
+// ExternalSummary reports the out-of-core engine's IO behavior: how the
+// input was read, how much of it was resident at peak, and how well the
+// double-buffered lane split hid decode time behind kernel time.
+type ExternalSummary struct {
+	// Mapped reports whether the input file was memory-mapped;
+	// BytesMapped is the mapped file size (0 when the buffered fallback
+	// reader served the run).
+	Mapped      bool  `json:"mapped"`
+	BytesMapped int64 `json:"bytesMapped"`
+	// BytesRead is the total bytes decoded from the input across shard
+	// decodes and the edge-stream reconciliation passes.
+	BytesRead int64 `json:"bytesRead"`
+	// SpillBytes is the size of the per-shard edge spill file.
+	SpillBytes int64 `json:"spillBytes"`
+	// PeakResidentBytes estimates the high-water mark of decoded shard
+	// CSR bytes held in memory at once — the quantity ResidentShards
+	// bounds.
+	PeakResidentBytes int64 `json:"peakResidentBytes"`
+	// ResidentShards is the residency bound the run used (after
+	// defaulting).
+	ResidentShards int `json:"residentShards"`
+	// DecodeMillis and KernelMillis are the summed shard decode and
+	// kernel wall-clock times; OverlapMillis is how much of the decode
+	// time the double buffer hid behind extraction (0 on a single
+	// worker, where the lanes serialize).
+	DecodeMillis  float64 `json:"decodeMillis"`
+	KernelMillis  float64 `json:"kernelMillis"`
+	OverlapMillis float64 `json:"overlapMillis"`
 }
 
 // DearingSummary reports the dearing engine run.
@@ -228,6 +265,9 @@ type PipelineResult struct {
 	Dearing *DearingSummary
 	// Elimination summarizes the elimination engine run, when used.
 	Elimination *EliminationSummary
+	// External summarizes the out-of-core engine's IO, when used. On its
+	// no-acquire path Input stays nil and InputStats comes from the file.
+	External *ExternalSummary
 	// Tuning is the resolved kernel tuning of the extract stage; nil
 	// when no extraction ran or the engine has no tunable kernels.
 	Tuning *Tuning

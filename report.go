@@ -43,6 +43,10 @@ type ReportExtraction struct {
 	// Dearing and Elimination carry those engines' summaries, when used.
 	Dearing     *DearingSummary     `json:"dearing,omitempty"`
 	Elimination *EliminationSummary `json:"elimination,omitempty"`
+	// External carries the out-of-core engine's IO summary, when used
+	// (its reconciliation counters ride Shard, as for the sharded
+	// engine).
+	External *ExternalSummary `json:"external,omitempty"`
 }
 
 // ReportVerify is the verify stage's outcome in a RunReport.
@@ -230,6 +234,7 @@ func Report(s Spec, res *PipelineResult) (RunReport, error) {
 		}
 		ex.Dearing = res.Dearing
 		ex.Elimination = res.Elimination
+		ex.External = res.External
 		rep.Extraction = ex
 	}
 	rep.Quality = res.Quality

@@ -59,10 +59,24 @@ type EngineConfig struct {
 	// Shards is the shard count of the sharded engine; setting it with
 	// any other engine is a validation error.
 	Shards int `json:"shards,omitempty"`
-	// ShardStitchOnly restricts the sharded engine's border
-	// reconciliation to the spanning stitch (bridges only). Normalize
-	// clears it on every other engine so it cannot split identities.
+	// ShardStitchOnly restricts the sharded (and external) engine's
+	// border reconciliation to the spanning stitch (bridges only).
+	// Normalize clears it on every other engine so it cannot split
+	// identities.
 	ShardStitchOnly bool `json:"shardStitchOnly,omitempty"`
+	// ResidentShards bounds how many decoded shards the external engine
+	// holds in memory at once (the one being extracted plus prefetch);
+	// <= 0 defaults to 2, the minimum that overlaps IO with extraction.
+	// Excluded from Canonical: a pure residency/speed knob, it never
+	// changes the edge set.
+	ResidentShards int `json:"residentShards,omitempty"`
+	// MaxDeferred bounds a streaming session's deferred queue; when the
+	// bound is reached, newly rejected edges are dropped with an
+	// "overflow" defer event instead of queued for repair. 0 means
+	// unbounded. Dropped edges leave the session's accumulated input, so
+	// the bound is part of a stream spec's canonical identity; setting
+	// it outside stream mode is a validation error.
+	MaxDeferred int `json:"maxDeferred,omitempty"`
 	// Start is the dearing engine's selection-start vertex (the serial
 	// growth seeds there; different starts grow different — equally
 	// maximal — subgraphs). Setting it non-zero with any other engine
@@ -227,19 +241,30 @@ func (s Spec) Normalize() (Spec, error) {
 	if n.Partitions > 0 && n.Engine != EnginePartitioned {
 		return n, fmt.Errorf("chordal: spec: partitions=%d conflicts with engine %q", n.Partitions, n.Engine)
 	}
-	if n.Shards > 0 && n.Engine != EngineSharded {
+	if n.Shards > 0 && n.Engine != EngineSharded && n.Engine != EngineExternal {
 		return n, fmt.Errorf("chordal: spec: shards=%d conflicts with engine %q", n.Shards, n.Engine)
 	}
 	if n.Engine == EnginePartitioned && n.Partitions == 0 {
 		return n, fmt.Errorf("chordal: spec: the partitioned engine needs partitions >= 1")
 	}
-	if n.Engine == EngineSharded && n.Shards == 0 {
-		return n, fmt.Errorf("chordal: spec: the sharded engine needs shards >= 1")
+	if (n.Engine == EngineSharded || n.Engine == EngineExternal) && n.Shards == 0 {
+		return n, fmt.Errorf("chordal: spec: the %s engine needs shards >= 1", n.Engine)
 	}
-	if n.Engine != EngineSharded {
-		// Meaningless off the sharded engine; clear it so a stray
+	if n.Engine != EngineSharded && n.Engine != EngineExternal {
+		// Meaningless off the shard-based engines; clear it so a stray
 		// toggle cannot split cache identities.
 		n.ShardStitchOnly = false
+	}
+	if n.ResidentShards < 0 {
+		n.ResidentShards = 0
+	}
+	if n.Engine == EngineExternal && n.Relabel != RelabelNone.String() {
+		// Relabeling needs the whole graph in memory, which is exactly
+		// what the out-of-core engine exists to avoid.
+		return n, fmt.Errorf("chordal: spec: relabel=%s requires an in-memory graph; the external engine cannot apply it", n.Relabel)
+	}
+	if n.MaxDeferred < 0 {
+		return n, fmt.Errorf("chordal: spec: maxDeferred %d must be >= 0", n.MaxDeferred)
 	}
 	// Start and Order change the extracted edge set, so — unlike the
 	// stitch toggle above — a stray value is a conflict error, never
@@ -292,6 +317,9 @@ func (s Spec) Normalize() (Spec, error) {
 	default:
 		return n, fmt.Errorf("chordal: spec: unknown mode %q (want %s|%s)", n.Mode, ModeBatch, ModeStream)
 	}
+	if n.MaxDeferred > 0 && n.Mode != ModeStream {
+		return n, fmt.Errorf("chordal: spec: maxDeferred=%d bounds a streaming session's deferred queue and requires mode=stream", n.MaxDeferred)
+	}
 	return n, nil
 }
 
@@ -324,6 +352,12 @@ func (s Spec) Canonical() (string, error) {
 	// stays byte-identical.
 	if n.Mode == ModeStream {
 		key += " mode=" + ModeStream
+		// A bounded deferred queue drops edges from the session's
+		// accumulated input, so it is identity-bearing — but only in
+		// stream mode, so the token is scoped under it.
+		if n.MaxDeferred > 0 {
+			key += fmt.Sprintf(" maxdeferred=%d", n.MaxDeferred)
+		}
 	}
 	// Engine-specific identity fields appear only for the engine they
 	// parameterize, so keys of every pre-existing engine — and every
@@ -418,7 +452,25 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		return nil, err
 	}
 	g := r.Input
-	if g == nil {
+	// Out-of-core fast path: when the selected engine can extract
+	// straight from a file (SourceEngine) and the source is a binary-CSR
+	// path, skip the acquire stage entirely — the input is never
+	// materialized in memory. Generated and content-addressed sources
+	// still load normally (there is no file to map).
+	var srcEng SourceEngine
+	var srcPath string
+	if g == nil && s.Source != "" && s.Engine != EngineNone {
+		if eng, ok := LookupEngine(s.Engine); ok {
+			if se, ok := eng.(SourceEngine); ok {
+				if src, err := ParseSource(s.Source); err == nil &&
+					!src.Generated() && !src.ContentAddressed() &&
+					strings.HasSuffix(strings.ToLower(src.Canonical()), ".bin") {
+					srcEng, srcPath = se, src.Canonical()
+				}
+			}
+		}
+	}
+	if g == nil && srcEng == nil {
 		if s.Source == "" {
 			return nil, fmt.Errorf("chordal: spec needs a source (or a Runner-injected input graph)")
 		}
@@ -437,7 +489,7 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		return nil, err
 	}
 
-	if s.Relabel != RelabelNone.String() {
+	if g != nil && s.Relabel != RelabelNone.String() {
 		start := enter("relabel")
 		mode, err := ParseRelabel(s.Relabel)
 		if err != nil {
@@ -451,8 +503,10 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		}
 		mark("relabel", start)
 	}
-	res.Input = g
-	res.InputStats = ComputeStats(g)
+	if g != nil {
+		res.Input = g
+		res.InputStats = ComputeStats(g)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -465,9 +519,19 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		cfg := s.EngineConfig
 		cfg.Observer = r.Observer
 		start := enter("extract")
-		er, err := eng.Extract(ctx, g, cfg)
+		var er *EngineResult
+		if srcEng != nil {
+			er, err = srcEng.ExtractSource(ctx, srcPath, cfg)
+		} else {
+			er, err = eng.Extract(ctx, g, cfg)
+		}
 		if err != nil {
 			return nil, err
+		}
+		if er.InputStats != nil {
+			// The out-of-core path computed the Table-I stats from the
+			// file header and offsets instead of a resident graph.
+			res.InputStats = *er.InputStats
 		}
 		res.Subgraph = er.Subgraph
 		res.Extraction = er.Extraction
@@ -477,6 +541,7 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		res.Dearing = er.Dearing
 		res.Elimination = er.Elimination
 		res.Tuning = er.Tuning
+		res.External = er.External
 		mark("extract", start)
 	}
 	if err := ctx.Err(); err != nil {
@@ -497,7 +562,7 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 		} else {
 			res.ChordalOK = verify.IsChordal(res.Subgraph)
 		}
-		if res.ChordalOK && g.NumEdges() <= maxAuditEdges {
+		if res.ChordalOK && g != nil && g.NumEdges() <= maxAuditEdges {
 			res.MaximalityAudited = true
 			res.ReAddableEdges = len(verify.AuditMaximality(g, res.Subgraph, 10))
 		}
@@ -510,7 +575,7 @@ func (r Runner) Run(ctx context.Context, s Spec) (*PipelineResult, error) {
 	// key) and are skipped silently when the subgraph is not chordal
 	// (the verify stage is the loud path for that) or the input exceeds
 	// the default bounds.
-	if res.Subgraph != nil && (!res.Verified || res.ChordalOK) {
+	if g != nil && res.Subgraph != nil && (!res.Verified || res.ChordalOK) {
 		if q, err := quality.Compute(g, res.Subgraph, quality.DefaultLimits()); err == nil {
 			res.Quality = q
 		}

@@ -59,6 +59,9 @@ const (
 	// AdmitInvalid: a self loop, a negative endpoint, or an endpoint
 	// beyond the session's vertex cap.
 	AdmitInvalid = incremental.ReasonInvalid
+	// AdmitOverflow: rejected while the deferred queue was at the
+	// spec's MaxDeferred bound — dropped, never retested by repair.
+	AdmitOverflow = incremental.ReasonOverflow
 )
 
 // DefaultMaxStreamVertices bounds a session's vertex universe when
@@ -176,6 +179,9 @@ type StreamStats struct {
 	Deferred   int64 `json:"deferred"`
 	Duplicates int64 `json:"duplicates"`
 	Invalid    int64 `json:"invalid"`
+	// Overflowed counts deltas dropped because the deferred queue was
+	// at the spec's MaxDeferred bound (0 when unbounded).
+	Overflowed int64 `json:"overflowed,omitempty"`
 	// Vertices is the session's vertex universe; SubgraphEdges the
 	// maintained (online) chordal edge count.
 	Vertices      int `json:"vertices"`
@@ -250,6 +256,8 @@ func (s *Stream) Push(ctx context.Context, u, v int32) (StreamDelta, error) {
 		s.stats.Duplicates++
 	case AdmitInvalid:
 		s.stats.Invalid++
+	case AdmitOverflow:
+		s.stats.Overflowed++
 	}
 	d := StreamDelta{Seq: s.seq, U: u, V: v, Accepted: ok, Reason: string(reason)}
 	s.emit(newDeltaEvent(d))
@@ -463,9 +471,11 @@ func (parallelEngine) OpenStream(ctx context.Context, cfg EngineConfig, sc Strea
 	}
 	capacity := max(sc.Vertices, 256)
 	capacity = min(capacity, maxV)
+	m := incremental.New(capacity, opts.DegreeThreshold)
+	m.SetMaxDeferred(cfg.MaxDeferred)
 	return &parallelStreamSession{
 		cfg:         cfg,
-		m:           incremental.New(capacity, opts.DegreeThreshold),
+		m:           m,
 		used:        sc.Vertices,
 		maxVertices: maxV,
 	}, nil
