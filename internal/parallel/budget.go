@@ -18,10 +18,11 @@ import (
 // token frees up, which bounds admitted concurrency to the pool size
 // without starving any job.
 type Budget struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	total int
-	avail int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	total   int
+	avail   int
+	waiters int
 }
 
 // NewBudget creates a Budget with the given number of worker tokens;
@@ -46,6 +47,15 @@ func (b *Budget) Available() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.avail
+}
+
+// Waiters returns how many Lease/LeaseContext calls are currently
+// blocked on an empty pool — a point-in-time snapshot for health
+// reporting, like Available.
+func (b *Budget) Waiters() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waiters
 }
 
 // Lease takes up to want tokens from the pool and returns the number
@@ -121,7 +131,9 @@ func (b *Budget) lease(ctx context.Context, want int) (int, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
+		b.waiters++
 		b.cond.Wait()
+		b.waiters--
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, err

@@ -1,9 +1,11 @@
 package parallel
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestBudgetLeaseBounds(t *testing.T) {
@@ -24,6 +26,34 @@ func TestBudgetLeaseBounds(t *testing.T) {
 		t.Fatalf("Lease(0) = %d, want 4", got)
 	}
 	b.Release(4)
+}
+
+func TestBudgetWaiters(t *testing.T) {
+	b := NewBudget(2)
+	if b.Waiters() != 0 {
+		t.Fatalf("Waiters on an idle pool = %d, want 0", b.Waiters())
+	}
+	hold := b.Lease(0)
+	done := make(chan int)
+	go func() { done <- b.Lease(1) }()
+	// The blocked lease registers as a waiter...
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Waiters() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters = %d with one lease blocked, want 1", b.Waiters())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	// ...and deregisters once a release unblocks it.
+	b.Release(hold)
+	if got := <-done; got != 1 {
+		t.Fatalf("unblocked Lease(1) = %d, want 1", got)
+	}
+	if b.Waiters() != 0 {
+		t.Fatalf("Waiters after unblock = %d, want 0", b.Waiters())
+	}
+	b.Release(1)
 }
 
 func TestBudgetNeverOversubscribes(t *testing.T) {

@@ -101,7 +101,12 @@ func (b *batchRec) terminalBefore(t time.Time) bool {
 // first (one bad item rejects the whole batch before any job runs),
 // then fanned out through the ordinary submission path — cache hits and
 // in-flight duplicates attach to existing jobs; only genuinely new
-// specs queue executions.
+// specs queue executions. Admission control applies to the batch as a
+// unit: a conservative capacity pre-check (assuming every item is a new
+// job) sheds the whole batch with 429 before any member submits, so a
+// partially-admitted batch can only arise from losing an admission race
+// mid-fan-out — that, too, sheds the request with 429, and the members
+// already admitted run (or dedup) normally.
 func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
@@ -127,13 +132,20 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		specs[i] = spec
 	}
 
+	tenant := tenantFromRequest(r)
+	if err := s.sched.CheckCapacity(tenant, len(specs)); err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+
 	rec := &batchRec{created: time.Now()}
 	for _, spec := range specs {
-		job, _, err := s.submit(spec, nil)
+		job, _, err := s.submitTenant(spec, nil, tenant)
 		if err != nil {
-			// Shutdown raced the fan-out; jobs already submitted are
-			// canceled by Close like any others.
-			httpError(w, http.StatusServiceUnavailable, err)
+			// A shed here means another tenant's submissions raced past
+			// the pre-check, or shutdown raced the fan-out; jobs already
+			// submitted run (or are canceled by Close) like any others.
+			writeSubmitError(w, err)
 			return
 		}
 		rec.jobs = append(rec.jobs, job)

@@ -8,6 +8,7 @@ import (
 
 	"chordal"
 	"chordal/internal/graph"
+	"chordal/internal/sched"
 )
 
 // Job states, in lifecycle order. A job moves queued → running → done,
@@ -109,6 +110,14 @@ type JobStatus struct {
 	// hit normally returns the producing job itself (same id, Cached
 	// false) with HTTP 200 signalling the hit.
 	Cached bool `json:"cached,omitempty"`
+	// Tenant is the tenant the job was submitted under; omitted for
+	// the default tenant, keeping single-tenant responses unchanged.
+	Tenant string `json:"tenant,omitempty"`
+	// QueuePosition is the job's current 1-based place in its tenant's
+	// scheduler queue; present only while the job is queued there (a
+	// dispatched job waiting on its worker lease reports queued with
+	// no position).
+	QueuePosition int `json:"queuePosition,omitempty"`
 	// Created, Started and Finished are lifecycle timestamps; Started
 	// and Finished are omitted until reached.
 	Created  time.Time  `json:"created"`
@@ -134,6 +143,13 @@ type Job struct {
 	id     string
 	spec   jobSpec
 	cached bool
+	// tenant is the submitting tenant ("" = default) and ticket the
+	// job's handle on the weighted-fair scheduler; both are set by
+	// Server.submitTenant before the job is published and never
+	// change (born-done cache hits leave ticket nil — they were never
+	// scheduled).
+	tenant string
+	ticket *sched.Ticket
 
 	created time.Time
 
@@ -268,11 +284,23 @@ func (j *Job) terminalBefore(t time.Time) bool {
 	return terminalState(j.state) && j.finished.Before(t)
 }
 
-// Status snapshots the job as its JSON view.
+// Status snapshots the job as its JSON view. The scheduler queue
+// position is read before taking the job lock (the scheduler has its
+// own mutex and never calls back into Job, so the order is safe); a
+// position observed just before dispatch simply reports the final
+// queued instant.
 func (j *Job) Status() JobStatus {
+	var pos int
+	if j.ticket != nil {
+		pos = j.ticket.Position()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.statusLocked()
+	st := j.statusLocked()
+	if st.State == StateQueued {
+		st.QueuePosition = pos
+	}
+	return st
 }
 
 // statusLocked builds the JSON view; callers hold j.mu.
@@ -282,6 +310,7 @@ func (j *Job) statusLocked() JobStatus {
 		State:   j.state,
 		Source:  j.spec.spec.Source,
 		Cached:  j.cached,
+		Tenant:  j.tenant,
 		Created: j.created,
 		Metrics: j.metrics,
 	}

@@ -23,12 +23,30 @@
 //	GET    /v1/batches/{id}        aggregate per-item status + counts
 //	GET    /v1/batches/{id}/events merged SSE over every member job,
 //	                             each event wrapped with its batch index
+//	GET    /v1/scheduler         weighted-fair scheduler snapshot:
+//	                             per-tenant queue depth, running slots,
+//	                             served share, shed counts, queue waits
 //	GET    /healthz              liveness + job/batch/cache counters
 //
 // # Architecture
 //
-// Submitted jobs enter a bounded-concurrency run queue (a semaphore of
-// Config.MaxConcurrent slots). Each admitted job leases worker tokens
+// Submitted jobs enter a weighted-fair run queue (internal/sched) with
+// Config.MaxConcurrent dispatch slots. Every request is attributed to
+// a tenant (the X-Tenant or X-API-Key header; absent means the default
+// tenant) with a configurable weight, priority class, running quota,
+// token-bucket rate limit, and bounded pending queue. Backlogged
+// tenants are served in proportion to their weights (virtual-time fair
+// queueing over per-job cost estimates), so one tenant's flood — or
+// one 100-item batch — can no longer monopolize the run queue, and a
+// light tenant's job dispatches within a bounded wait. Admission
+// control sheds instead of queueing without bound: a submission that
+// would overflow the tenant's or the global pending bound, or that
+// exceeds the tenant's rate limit, receives 429 Too Many Requests with
+// a Retry-After hint computed from the observed queue drain rate. The
+// default tenant runs at weight 1 with no rate limit and the global
+// queue bound, preserving the single-tenant service behavior.
+//
+// Each dispatched job leases worker tokens
 // from one shared parallel.Budget sized to the machine: a job with no
 // explicit request takes its fair share (total / MaxConcurrent, with
 // MaxConcurrent clamped to the budget), so the extraction kernels of
@@ -86,6 +104,7 @@ import (
 	"chordal"
 	"chordal/internal/graph"
 	"chordal/internal/parallel"
+	"chordal/internal/sched"
 )
 
 // Config sizes the server. The zero value is ready to use; see each
@@ -123,6 +142,18 @@ type Config struct {
 	// means 15 minutes, negative disables GC. Cached results outlive
 	// their job: a later cache hit re-registers one born-done job.
 	JobTTL time.Duration
+	// Scheduler configures the weighted-fair run queue and admission
+	// control: the global pending bound, the default tenant policy
+	// template, and per-tenant overrides (see sched.Config). Slots is
+	// ignored — MaxConcurrent is the slot count. The zero value keeps
+	// the pre-scheduler behavior for single-tenant traffic: FIFO
+	// dispatch at weight 1, no rate limits, and a generous (4096)
+	// pending bound in place of unbounded queueing.
+	Scheduler sched.Config
+	// Tenants holds per-tenant scheduling policy by tenant name,
+	// merged over (and overriding) Scheduler.Tenants — the
+	// -tenant-config file surfaces here.
+	Tenants map[string]sched.TenantConfig
 }
 
 // cachedResult is one completed extraction in the result LRU. jobID is
@@ -141,7 +172,7 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 	budget *parallel.Budget
-	sem    chan struct{}
+	sched  *sched.Scheduler
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -187,11 +218,23 @@ func New(cfg Config) *Server {
 	if cfg.MaxConcurrent > budget.Total() {
 		cfg.MaxConcurrent = budget.Total()
 	}
+	schedCfg := cfg.Scheduler
+	schedCfg.Slots = cfg.MaxConcurrent
+	if len(cfg.Tenants) > 0 {
+		merged := make(map[string]sched.TenantConfig, len(schedCfg.Tenants)+len(cfg.Tenants))
+		for name, tc := range schedCfg.Tenants {
+			merged[name] = tc
+		}
+		for name, tc := range cfg.Tenants {
+			merged[name] = tc
+		}
+		schedCfg.Tenants = merged
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		budget:   budget,
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		sched:    sched.New(schedCfg),
 		baseCtx:  ctx,
 		stop:     stop,
 		jobs:     make(map[string]*Job),
@@ -227,6 +270,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/streams/{id}/events", s.handleStreamEvents)
 	s.mux.HandleFunc("GET /v1/streams/{id}/result", s.handleStreamResult)
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
+	s.mux.HandleFunc("GET /v1/scheduler", s.handleScheduler)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.JobTTL > 0 {
 		s.wg.Add(1)
@@ -309,6 +353,10 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.stop()
+	// Fail every scheduler-queued ticket too: job contexts are already
+	// canceled above, so this is belt and braces for tickets whose
+	// goroutines have not yet observed the dead context.
+	s.sched.Close()
 	s.wg.Wait()
 }
 
@@ -422,9 +470,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	job, hit, err := s.submit(spec, upload)
+	job, hit, err := s.submitTenant(spec, upload, tenantFromRequest(r))
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err)
+		writeSubmitError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())
@@ -435,12 +483,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, job.Status())
 }
 
-// submit registers a job for spec, serving it from the result cache
-// when possible and deduplicating onto an identical in-flight job
-// otherwise; only a genuinely new spec queues a fresh execution. The
-// returned bool reports a cache hit; the error is errShuttingDown when
-// the server is closing.
+// submit is submitTenant for the default tenant.
 func (s *Server) submit(spec jobSpec, upload *graph.Graph) (*Job, bool, error) {
+	return s.submitTenant(spec, upload, "")
+}
+
+// submitTenant registers a job for spec on behalf of a tenant, serving
+// it from the result cache when possible and deduplicating onto an
+// identical in-flight job otherwise; only a genuinely new spec is
+// enqueued with the scheduler. Caches and single-flight are shared
+// across tenants — the canonical spec is the identity, so tenant B's
+// resubmission of tenant A's spec is a hit. The returned bool reports
+// a cache hit; the error is errShuttingDown when the server is closing
+// or a *sched.ShedError when admission control rejects the submission.
+func (s *Server) submitTenant(spec jobSpec, upload *graph.Graph, tenant string) (*Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -465,8 +521,21 @@ func (s *Server) submit(spec jobSpec, upload *graph.Graph) (*Job, bool, error) {
 	if job, ok := s.tryCachedLocked(spec); ok {
 		return job, true, nil
 	}
+	// Admission control happens after the dedup probes — cache hits and
+	// absorbed duplicates cost no queue slot, so they are never shed.
+	ticket, err := s.sched.Enqueue(tenant, spec.cost())
+	if err != nil {
+		return nil, false, err
+	}
 	job := newJob(s.nextIDLocked(), spec, time.Now())
+	job.tenant = tenant
+	job.ticket = ticket
 	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
+	job.appendEvent("queued", map[string]any{
+		"tenant":   displayTenant(tenant),
+		"position": ticket.Position(),
+		"cost":     spec.cost(),
+	})
 	s.jobs[job.ID()] = job
 	if spec.cacheable() {
 		s.inflight[key] = job
@@ -553,13 +622,15 @@ func parseUpload(format string, r io.Reader) (*graph.Graph, error) {
 	}
 }
 
-// run executes one job: wait for a semaphore slot, lease workers from
-// the shared budget, resolve the input (upload, input cache, generator,
-// or file), run the pipeline with progress events, and publish the
-// result to the caches. It runs under the job's own context, so both
-// server shutdown and DELETE /v1/jobs/{id} drain it at the next
-// boundary — releasing the semaphore slot, the budget lease, and the
-// single-flight entry on every exit path.
+// run executes one job: wait for the weighted-fair scheduler to
+// dispatch its ticket, lease workers from the shared budget, resolve
+// the input (upload, input cache, generator, or file), run the
+// pipeline with progress events, and publish the result to the caches.
+// It runs under the job's own context, so both server shutdown and
+// DELETE /v1/jobs/{id} drain it at the next boundary — a still-queued
+// ticket is removed from its tenant's queue by Wait itself, and the
+// run slot, the budget lease, and the single-flight entry are released
+// on every exit path.
 func (s *Server) run(job *Job, upload *graph.Graph) {
 	defer s.wg.Done()
 	defer job.cancel()
@@ -573,13 +644,17 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 		}
 		s.mu.Unlock()
 	}()
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-job.ctx.Done():
-		job.fail(time.Now(), job.ctx.Err())
+	if err := job.ticket.Wait(job.ctx); err != nil {
+		// Canceled (or the scheduler closed) while queued: Wait already
+		// released the ticket, so no slot or queue entry leaks.
+		job.fail(time.Now(), err)
 		return
 	}
+	defer job.ticket.Done()
+	job.appendEvent("admitted", map[string]any{
+		"tenant":     displayTenant(job.tenant),
+		"waitMillis": float64(job.ticket.QueueWait().Microseconds()) / 1000,
+	})
 
 	// A job with no explicit worker request leases its fair share of
 	// the pool (total / MaxConcurrent) — even on an otherwise idle
@@ -670,7 +745,8 @@ func (s *Server) run(job *Job, upload *graph.Graph) {
 // handleCancel serves DELETE /v1/jobs/{id}: a queued or running job is
 // marked for cancellation and its context fired; the job goroutine
 // drains at the next iteration boundary into the terminal canceled
-// state, releasing its semaphore slot and budget tokens. Cancelling an
+// state, releasing its scheduler ticket (queued or dispatched) and
+// budget tokens. Cancelling an
 // already terminal job is a 409.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r.PathValue("id"))
@@ -792,6 +868,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		counts[j.Status().State]++
 	}
 	s.mu.Unlock()
+	sst := s.sched.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":                 "ok",
 		"jobs":                   total,
@@ -804,7 +881,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"batches":                batches,
 		"streams":                streams,
 		"workers":                s.budget.Total(),
+		"budgetAvailable":        s.budget.Available(),
+		"budgetWaiters":          s.budget.Waiters(),
 		"maxConcurrent":          s.cfg.MaxConcurrent,
+		"schedQueued":            sst.Queued,
+		"schedRunning":           sst.Running,
+		"schedShed":              sst.Shed,
+		"schedMaxQueue":          sst.MaxQueue,
+		"schedDrainPerSec":       sst.DrainPerSec,
+		"schedTenants":           len(sst.Tenants),
 		"inputCache":             s.inputs.Len(),
 		"inputCacheBytes":        s.inputs.Bytes(),
 		"inputCacheBudgetBytes":  s.cfg.InputCacheBytes,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"chordal"
@@ -201,3 +202,65 @@ func (s jobSpec) cacheable() bool { return s.deterministic }
 // Key returns the job's cache/dedup identity: the spec's canonical
 // encoding, shared verbatim with chordal.Spec.Canonical callers.
 func (s jobSpec) Key() string { return s.key }
+
+// Scheduler cost units: one unit per costUnitEdges estimated input
+// edges (so a default job is cost 1 and a scale-20 R-MAT weighs in
+// around 128), capped so a single pathological estimate cannot dwarf
+// a tenant's entire fair share.
+const (
+	costUnitEdges = 64 << 10
+	maxJobCost    = 1 << 10
+)
+
+// cost estimates the job's scheduler cost from its canonical source: a
+// cheap reparse of the generator arguments into an expected edge
+// count. Uploads and file paths carry no size in their identity and
+// charge the single-unit default — the estimate steers weighted-fair
+// interleaving, it is not an admission bound, so erring small only
+// softens (never breaks) fairness.
+func (s jobSpec) cost() int64 {
+	edges := estimateEdges(s.spec.Source)
+	c := 1 + edges/costUnitEdges
+	if c > maxJobCost {
+		c = maxJobCost
+	}
+	return c
+}
+
+// estimateEdges reads an expected edge count off a canonical generator
+// source ("family:arg:..." with defaults filled in); unknown families,
+// paths, and uploads estimate 0 (one cost unit).
+func estimateEdges(source string) int64 {
+	fields := strings.Split(source, ":")
+	arg := func(i int) int64 {
+		if i >= len(fields) {
+			return 0
+		}
+		n, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	switch strings.ToLower(fields[0]) {
+	case "gnm": // gnm:n:m:seed
+		return arg(2)
+	case "rmat-er", "rmat-g", "rmat-b": // family:scale:seed:edgefactor
+		scale, ef := arg(1), arg(3)
+		if scale <= 0 || scale > 40 {
+			return 0
+		}
+		if ef <= 0 {
+			ef = 8
+		}
+		return ef << scale
+	case "ws": // ws:n:k:beta:seed — n*k/2 edges
+		return arg(1) * arg(2) / 2
+	case "ktree": // ktree:n:k:seed — ~n*k edges
+		return arg(1) * arg(2)
+	case "geo": // geo:n:radius:seed — degree depends on radius; charge by n
+		return arg(1)
+	default:
+		return 0
+	}
+}

@@ -166,11 +166,19 @@ func (ss *streamSession) expired(cutoff time.Time) bool {
 	return ss.lastActive.Before(cutoff)
 }
 
-// handleStreamOpen serves POST /v1/streams.
+// handleStreamOpen serves POST /v1/streams. Sessions run outside the
+// scheduler's slot queue (deltas are admitted on request goroutines),
+// but opening one still passes the tenant's rate limit so a flood of
+// stream opens cannot sidestep admission control — a limited tenant
+// gets 429 + Retry-After here exactly as on job submission.
 func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 	var req StreamOpenRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	if err := s.sched.AdmitSession(tenantFromRequest(r)); err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	spec := req.Options.rawSpec("")

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"chordal/internal/sched"
+)
+
+// This file holds the multi-tenant surface of the service: tenant
+// identity extraction, the mapping from scheduler admission rejections
+// to 429 + Retry-After responses, and the scheduler metrics endpoint.
+//
+// Tenant identity is taken from the X-Tenant request header (an API
+// key works identically via X-API-Key — the service treats the key
+// value as the tenant name; real key→tenant mapping belongs in a
+// gateway). Requests carrying neither header belong to the default
+// tenant, whose scheduling behavior matches the pre-scheduler service:
+// FIFO dispatch at weight 1 with no rate limit, so single-tenant
+// deployments see no change.
+
+// tenantFromRequest resolves the request's tenant: the X-Tenant
+// header, else the X-API-Key header, else the default tenant ("").
+func tenantFromRequest(r *http.Request) string {
+	if t := strings.TrimSpace(r.Header.Get("X-Tenant")); t != "" {
+		return t
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// displayTenant renders a tenant name for events and status payloads:
+// the default tenant's empty name shows as "default".
+func displayTenant(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+// writeSubmitError maps a submission failure onto its HTTP shape: an
+// admission-control shed becomes 429 Too Many Requests with a
+// Retry-After header (whole seconds, rounded up from the scheduler's
+// drain-rate or token-bucket hint); anything else — in practice server
+// shutdown — stays 503.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var shed *sched.ShedError
+	if errors.As(err, &shed) {
+		secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, err)
+}
+
+// handleScheduler serves GET /v1/scheduler: the full weighted-fair
+// scheduler snapshot — per-tenant queue depth, running slots, served
+// share, shed counts, and average queue wait — alongside the global
+// occupancy and drain-rate estimate.
+func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
